@@ -1,0 +1,16 @@
+"""F1 — learning error vs sample budget."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.learning import run_f1
+
+
+def test_f1_curve(benchmark, quick_config):
+    """Regenerate the F1 curve; error must not grow with the budget."""
+    result = benchmark.pedantic(run_f1, args=(quick_config,), rounds=1, iterations=1)
+    emit(result)
+    errors = [row[2] for row in result.rows]
+    # Largest budget should do at least as well as the smallest.
+    assert errors[-1] <= errors[0] + 1e-6

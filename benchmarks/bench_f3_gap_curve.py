@@ -1,0 +1,16 @@
+"""F3 — rejection rate vs distance (the testing gap)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.testing import run_f3
+
+
+def test_f3_curve(benchmark, quick_config):
+    """Regenerate F3; rejection must be ~0 at distance 0 and ~1 far out."""
+    result = benchmark.pedantic(run_f3, args=(quick_config,), rounds=1, iterations=1)
+    emit(result)
+    rows = result.rows
+    assert rows[0][2] <= 1 / 3  # members almost never rejected
+    assert rows[-1][2] >= 2 / 3  # far instances almost always rejected

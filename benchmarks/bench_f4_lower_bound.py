@@ -1,0 +1,30 @@
+"""F4 — the Theorem 5 Omega(sqrt(kn)) transition."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit
+
+from repro.core.lower_bound import collision_distinguisher, no_instance
+from repro.experiments.lowerbound import run_f4
+
+
+def test_f4_curve(benchmark, quick_config):
+    """Regenerate F4; success must rise from near-chance to near-perfect."""
+    result = benchmark.pedantic(run_f4, args=(quick_config,), rounds=1, iterations=1)
+    emit(result)
+    for n, k in {(row[0], row[1]) for row in result.rows}:
+        series = [row for row in result.rows if row[0] == n and row[1] == k]
+        series.sort(key=lambda row: row[2])
+        assert series[0][4] <= 0.8  # little signal below sqrt(kn)
+        assert series[-1][4] >= 0.8  # strong signal above
+
+
+def test_distinguisher_kernel(benchmark):
+    """Micro: one distinguisher call at m = 4 sqrt(kn)."""
+    n, k = 4096, 8
+    dist = no_instance(n, k, rng=1)
+    m = int(4 * math.sqrt(k * n))
+    samples = dist.sample(m, 2)
+    benchmark(lambda: collision_distinguisher(samples, n, k))

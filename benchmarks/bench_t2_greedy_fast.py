@@ -1,0 +1,24 @@
+"""T2 — fast greedy (Theorem 2) vs exhaustive."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.greedy import learn_histogram
+from repro.distributions import families
+from repro.experiments.learning import run_t2
+
+
+def test_t2_table(benchmark, quick_config):
+    """Regenerate the T2 table; fast excess must stay within 8 eps."""
+    result = benchmark.pedantic(run_t2, args=(quick_config,), rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        assert row[2] <= row[4]  # excess fast <= bound 8 eps
+
+def test_fast_greedy_kernel(benchmark):
+    """Micro: one fast learn on n=512 (sample-endpoint candidates)."""
+    dist = families.zipf(512, 1.0)
+    benchmark(
+        lambda: learn_histogram(dist, 512, 4, 0.25, method="fast", scale=0.02, rng=1)
+    )

@@ -1,0 +1,35 @@
+"""T5 — collision-estimator concentration and throughput."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.distributions import families
+from repro.experiments.estimators_exp import run_t5
+from repro.samples.collision import CollisionSketch
+from repro.samples.estimators import MultiSketch
+
+
+def test_t5_table(benchmark, quick_config):
+    """Regenerate T5; Lemma 1's 3/4 within-bound rate must hold."""
+    result = benchmark.pedantic(run_t5, args=(quick_config,), rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        if row[1] == "Lemma1 single":
+            assert row[2] >= 0.6  # claimed > 3/4; generous slack for quick mode
+
+
+def test_sketch_build_kernel(benchmark):
+    """Micro: building a collision sketch from 10^6 samples."""
+    samples = families.zipf(4096, 1.0).sample(1_000_000, 3)
+    benchmark(lambda: CollisionSketch(samples, 4096))
+
+
+def test_median_query_kernel(benchmark):
+    """Micro: 10k vectorised median-of-9 interval queries."""
+    dist = families.zipf(4096, 1.0)
+    multi = MultiSketch.from_sample_sets(dist.sample_sets(9, 100_000, 4), 4096)
+    starts = np.random.default_rng(5).integers(0, 2048, size=10_000)
+    stops = starts + 1024
+    benchmark(lambda: multi.median_conditional_norm(starts, stops))

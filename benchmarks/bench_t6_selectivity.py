@@ -1,0 +1,28 @@
+"""T6 — the selectivity-estimation application."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.baselines.voptimal import voptimal_from_samples
+from repro.datasets.synthetic import salaries_column
+from repro.experiments.selectivity_exp import run_t6
+from repro.histograms.intervals import Interval
+from repro.queries.selectivity import SelectivityEstimator
+
+
+def test_t6_table(benchmark, quick_config):
+    """Regenerate T6; sample-efficient summaries must beat equi-width."""
+    result = benchmark.pedantic(run_t6, args=(quick_config,), rounds=1, iterations=1)
+    emit(result)
+    by_estimator = {row[1]: row[3] for row in result.rows}
+    assert by_estimator["v-optimal plug-in"] <= by_estimator["equi-depth"]
+
+
+def test_query_kernel(benchmark):
+    """Micro: 10k range-mass queries against a 16-piece summary."""
+    values, n = salaries_column(50_000, rng=1)
+    hist = voptimal_from_samples(values[:10_000], n, 16)
+    estimator = SelectivityEstimator(hist)
+    queries = [Interval(i % (n - 64), i % (n - 64) + 64) for i in range(10_000)]
+    benchmark(lambda: estimator.estimate_many(queries))

@@ -1,0 +1,27 @@
+"""T8 — the k=1 special case vs the GR00 uniformity tester."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.uniformity import test_uniformity as uniformity_test
+from repro.distributions import families
+from repro.experiments.ablations import run_t8
+
+
+def test_t8_table(benchmark, quick_config):
+    """Regenerate T8; both testers must meet their targets."""
+    result = benchmark.pedantic(run_t8, args=(quick_config,), rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        rate, target = row[3], row[4]
+        if target == ">= 2/3":
+            assert rate >= 2 / 3
+        else:
+            assert rate <= 1 / 3
+
+
+def test_uniformity_kernel(benchmark):
+    """Micro: one GR00 uniformity test at n=65536."""
+    dist = families.uniform(65536)
+    benchmark(lambda: uniformity_test(dist, 65536, 0.25, rng=1))

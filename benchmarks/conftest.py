@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every ``bench_*`` file regenerates one experiment (table or figure) from
+DESIGN.md section 6: the benchmarked callable *is* the experiment runner
+(quick grids), so ``pytest benchmarks/ --benchmark-only`` both times the
+pipelines and prints each regenerated table; micro-benchmarks of the hot
+kernels accompany them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """Deterministic quick-mode config used by all table benchmarks."""
+    return ExperimentConfig(seed=0, quick=True)
+
+
+def emit(result) -> None:
+    """Print a regenerated experiment table beneath the benchmark output."""
+    print()
+    print(result.to_markdown())

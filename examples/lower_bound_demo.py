@@ -1,0 +1,59 @@
+"""The Theorem 5 lower bound, live.
+
+Runs in a few seconds::
+
+    python examples/lower_bound_demo.py
+
+Builds the paper's YES/NO instance pair (an exact k-histogram versus a
+version with one heavy interval scrambled to half support) and shows that
+a collision-counting distinguisher is blind below ~sqrt(kn) samples and
+sharp above — the Omega(sqrt(kn)) transition.
+"""
+
+import math
+
+from repro.core.lower_bound import (
+    collision_distinguisher,
+    heavy_intervals,
+    no_instance,
+    yes_instance,
+)
+from repro.distributions import distance_to_k_histogram
+from repro.utils.rng import spawn_rngs
+
+
+def main() -> None:
+    n, k, trials = 2048, 8, 30
+    yes = yes_instance(n, k)
+    print(f"YES instance: {k} alternating intervals over [0, {n}), "
+          f"{len(heavy_intervals(n, k))} of them heavy")
+    example_no = no_instance(n, k, rng=0)
+    print(
+        "NO instance:  one heavy interval scrambled; certified l1 distance "
+        f"to {k}-histograms: {distance_to_k_histogram(example_no, k, norm='l1'):.3f}\n"
+    )
+
+    print(f"{'m/sqrt(kn)':>10s} {'m':>6s} {'success rate':>13s}")
+    rngs = spawn_rngs(1, 10_000)
+    idx = 0
+    for ratio in (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        m = max(4, int(ratio * math.sqrt(k * n)))
+        correct = 0
+        for _ in range(trials):
+            if not collision_distinguisher(yes.sample(m, rngs[idx]), n, k).says_no:
+                correct += 1
+            idx += 1
+            fresh_no = no_instance(n, k, rng=rngs[idx]); idx += 1
+            if collision_distinguisher(fresh_no.sample(m, rngs[idx]), n, k).says_no:
+                correct += 1
+            idx += 1
+        print(f"{ratio:10.3f} {m:6d} {correct / (2 * trials):13.2f}")
+
+    print(
+        "\nReading: ~0.5 is coin-flipping; the jump happens around "
+        "m = Theta(sqrt(kn)), matching Theorem 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

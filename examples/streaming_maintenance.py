@@ -1,0 +1,58 @@
+"""Maintaining a histogram over a drifting stream.
+
+Runs in under a minute::
+
+    python examples/streaming_maintenance.py
+
+The paper's greedy learner descends from a streaming algorithm
+([TGIK02]); this example closes the loop.  A workload monitor watches a
+stream of product ids whose popularity shifts mid-stream (a viral
+product); a reservoir sample plus periodic greedy rebuilds keeps a
+16-piece summary current, and we track its range-query accuracy through
+the drift.
+"""
+
+import numpy as np
+
+from repro import Interval, l1_distance
+from repro.distributions import families
+from repro.streaming import StreamingHistogramMaintainer
+
+
+def main() -> None:
+    n = 1024
+    before = families.zipf(n, 1.1)  # head-heavy catalogue
+    # Mid-stream, a band of previously cold products goes viral.
+    viral = families.two_level(n, heavy_start=700, heavy_length=50, heavy_mass=0.6)
+
+    # forget_after_rebuild gives sliding-window semantics: the summary
+    # reflects the last ~refresh_every items, so drift is tracked quickly.
+    maintainer = StreamingHistogramMaintainer(
+        n, k=16, refresh_every=5_000, reservoir_capacity=5_000,
+        forget_after_rebuild=True, rng=0,
+    )
+    rng = np.random.default_rng(1)
+    viral_band = Interval(700, 750)
+
+    print(f"{'items seen':>10s} {'regime':>8s} {'rebuilds':>8s} "
+          f"{'l1 to regime':>13s} {'viral-band mass':>16s}")
+    for phase, (regime, label, batches) in enumerate(
+        ((before, "before", 6), (viral, "after", 10))
+    ):
+        for _ in range(batches):
+            maintainer.update_many(regime.sample(5_000, rng))
+            summary = maintainer.histogram
+            print(
+                f"{maintainer.items_seen:10d} {label:>8s} {maintainer.rebuilds:8d} "
+                f"{l1_distance(regime, summary):13.3f} "
+                f"{summary.range_mass(viral_band):16.3f}"
+            )
+
+    print(
+        "\nReading: the summary tracks each regime within a few rebuilds; "
+        "the viral band's mass estimate jumps from ~0 to ~0.6 after the shift."
+    )
+
+
+if __name__ == "__main__":
+    main()

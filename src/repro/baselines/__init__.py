@@ -1,0 +1,37 @@
+"""Baseline histogram constructions the paper cites.
+
+* :mod:`repro.baselines.voptimal` — the exact v-optimal dynamic program of
+  [JPK+98] (the linear-time-infeasible baseline motivating the paper), for
+  both the l2 ("variance") and l1 piece costs.  Also used to compute exact
+  distance-to-property for the testers' experiments.
+* :mod:`repro.baselines.equidepth` — equi-depth (quantile) histograms from
+  random samples [CMN98].
+* :mod:`repro.baselines.equiwidth` — fixed-width bucketisation.
+* :mod:`repro.baselines.compressed` — compressed histograms [GMP97]:
+  heavy singletons kept exactly, equi-depth on the rest.
+
+All constructors operate on raw numpy data (a pmf vector or a sample
+array) and return :class:`repro.histograms.TilingHistogram`.
+"""
+
+from repro.baselines.compressed import compressed_from_samples
+from repro.baselines.equidepth import equidepth_from_pmf, equidepth_from_samples
+from repro.baselines.equiwidth import equiwidth_from_pmf, equiwidth_from_samples
+from repro.baselines.voptimal import (
+    l1_piece_cost_matrix,
+    voptimal_cost,
+    voptimal_from_samples,
+    voptimal_histogram,
+)
+
+__all__ = [
+    "compressed_from_samples",
+    "equidepth_from_pmf",
+    "equidepth_from_samples",
+    "equiwidth_from_pmf",
+    "equiwidth_from_samples",
+    "l1_piece_cost_matrix",
+    "voptimal_cost",
+    "voptimal_from_samples",
+    "voptimal_histogram",
+]

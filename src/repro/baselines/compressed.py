@@ -1,0 +1,81 @@
+"""Compressed histograms [GMP97].
+
+A compressed histogram stores the heaviest elements in singleton buckets
+(their mass is kept exactly, up to sampling error) and covers the rest of
+the domain with equi-depth buckets.  This is the second sample-based
+construction the paper's introduction contrasts with v-optimal histograms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.tiling import TilingHistogram
+
+
+def compressed_from_samples(
+    samples: np.ndarray,
+    n: int,
+    k: int,
+    singleton_fraction: float = 0.5,
+) -> TilingHistogram:
+    """Compressed histogram from random samples.
+
+    Parameters
+    ----------
+    samples:
+        Integer samples in ``[0, n)``.
+    n:
+        Domain size.
+    k:
+        Total bucket budget.
+    singleton_fraction:
+        Fraction of the budget spent on heavy singleton buckets (the
+        remainder is spent on equi-depth buckets over the residual mass).
+    """
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    if int(k) != k or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    if not 0.0 <= singleton_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"singleton_fraction must be in [0, 1], got {singleton_fraction}"
+        )
+    counts = np.bincount(samples, minlength=n).astype(np.float64)
+    if counts.shape[0] > n:
+        raise InvalidParameterError("samples contain values outside [0, n)")
+    pmf = counts / samples.size
+
+    num_singletons = min(int(k * singleton_fraction), k - 1, n)
+    # Heaviest elements become width-1 buckets.  Only elements strictly
+    # heavier than the uniform level are worth a singleton.
+    order = np.argsort(pmf)[::-1]
+    singles = np.sort(order[:num_singletons])
+    singles = singles[pmf[singles] > 1.0 / n]
+
+    cut_set = {0, n}
+    for s in singles:
+        cut_set.add(int(s))
+        cut_set.add(int(s) + 1)
+
+    # Residual mass gets equi-depth cuts from the cdf with singleton mass
+    # removed.
+    residual = pmf.copy()
+    residual[singles] = 0.0
+    residual_mass = residual.sum()
+    buckets_left = max(k - len(singles), 1)
+    if residual_mass > 0:
+        cdf = np.cumsum(residual) / residual_mass
+        targets = np.arange(1, buckets_left) / buckets_left
+        cuts = np.searchsorted(cdf, targets, side="left") + 1
+        for c in cuts:
+            if 0 < c < n:
+                cut_set.add(int(c))
+
+    boundaries = np.array(sorted(cut_set), dtype=np.int64)
+    prefix = np.concatenate(([0.0], np.cumsum(pmf)))
+    masses = prefix[boundaries[1:]] - prefix[boundaries[:-1]]
+    values = masses / np.diff(boundaries)
+    return TilingHistogram(n, boundaries, values)

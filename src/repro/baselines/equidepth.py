@@ -1,0 +1,62 @@
+"""Equi-depth (quantile) histograms [CMN98].
+
+Bucket boundaries are placed at (approximate) quantiles so every bucket
+holds roughly ``1/k`` of the mass.  The paper's introduction contrasts
+these sample-efficient constructions with the v-optimal histograms it
+targets; we implement them as application baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.tiling import TilingHistogram
+
+
+def _boundaries_from_cdf(cdf: np.ndarray, n: int, k: int) -> np.ndarray:
+    """Boundary positions where the cdf crosses ``i/k``, deduplicated."""
+    targets = np.arange(1, k) / k
+    cuts = np.searchsorted(cdf, targets, side="left") + 1
+    boundaries = np.unique(np.concatenate(([0], cuts, [n])))
+    boundaries = boundaries[(boundaries >= 0) & (boundaries <= n)]
+    if boundaries[0] != 0:
+        boundaries = np.concatenate(([0], boundaries))
+    if boundaries[-1] != n:
+        boundaries = np.concatenate((boundaries, [n]))
+    return boundaries
+
+
+def equidepth_from_pmf(pmf: np.ndarray, k: int) -> TilingHistogram:
+    """Equi-depth histogram of an explicitly known distribution.
+
+    Useful as the infinite-sample limit of :func:`equidepth_from_samples`.
+    Duplicate quantile cuts (heavy single elements) are merged, so the
+    result can have fewer than ``k`` buckets.
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    if int(k) != k or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    n = pmf.shape[0]
+    boundaries = _boundaries_from_cdf(np.cumsum(pmf), n, k)
+    prefix = np.concatenate(([0.0], np.cumsum(pmf)))
+    masses = prefix[boundaries[1:]] - prefix[boundaries[:-1]]
+    values = masses / np.diff(boundaries)
+    return TilingHistogram(n, boundaries, values)
+
+
+def equidepth_from_samples(samples: np.ndarray, n: int, k: int) -> TilingHistogram:
+    """Equi-depth histogram built from random samples.
+
+    Boundaries are empirical quantiles; bucket values are the empirical
+    bucket mass divided by the bucket width.
+    """
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    if int(k) != k or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    counts = np.bincount(samples, minlength=n).astype(np.float64)
+    if counts.shape[0] > n:
+        raise InvalidParameterError("samples contain values outside [0, n)")
+    return equidepth_from_pmf(counts / samples.size, k)

@@ -1,0 +1,41 @@
+"""Equi-width histograms: fixed-width buckets.
+
+The simplest bucketisation; included as the weakest application baseline
+for the selectivity-estimation experiment (T6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.tiling import TilingHistogram
+
+
+def _equiwidth_boundaries(n: int, k: int) -> np.ndarray:
+    if int(k) != k or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    k = min(k, n)
+    return np.unique(np.linspace(0, n, k + 1).astype(np.int64))
+
+
+def equiwidth_from_pmf(pmf: np.ndarray, k: int) -> TilingHistogram:
+    """Equi-width histogram of an explicitly known distribution."""
+    pmf = np.asarray(pmf, dtype=np.float64)
+    n = pmf.shape[0]
+    boundaries = _equiwidth_boundaries(n, k)
+    prefix = np.concatenate(([0.0], np.cumsum(pmf)))
+    masses = prefix[boundaries[1:]] - prefix[boundaries[:-1]]
+    values = masses / np.diff(boundaries)
+    return TilingHistogram(n, boundaries, values)
+
+
+def equiwidth_from_samples(samples: np.ndarray, n: int, k: int) -> TilingHistogram:
+    """Equi-width histogram with empirically estimated bucket masses."""
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    counts = np.bincount(samples, minlength=n).astype(np.float64)
+    if counts.shape[0] > n:
+        raise InvalidParameterError("samples contain values outside [0, n)")
+    return equiwidth_from_pmf(counts / samples.size, k)

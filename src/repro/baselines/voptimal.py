@@ -1,0 +1,169 @@
+"""Exact v-optimal histograms via dynamic programming [JPK+98].
+
+Given the full probability vector ``p`` and a budget of ``k`` pieces, the
+dynamic program computes the tiling k-histogram minimising
+
+* ``sum_i (p_i - H(i))^2``  (``norm="l2"``, the "v-optimal" criterion), or
+* ``sum_i |p_i - H(i)|``    (``norm="l1"``),
+
+in ``O(n^2 k)`` time.  The paper positions this as the baseline that must
+read the whole input; here it serves two roles:
+
+1. the optimum ``H*`` against which Theorems 1 and 2 bound the greedy
+   learner's excess error, and
+2. an exact distance-to-property oracle: ``p`` is a tiling k-histogram iff
+   the optimal cost is 0, and the optimal cost certifies how far ``p`` is
+   from the property (used to build epsilon-far NO instances for the
+   testers).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.fit import best_fit_values
+from repro.histograms.tiling import TilingHistogram
+
+_NORMS = ("l1", "l2")
+
+
+def _check_inputs(pmf: np.ndarray, k: int, norm: str) -> np.ndarray:
+    if norm not in _NORMS:
+        raise InvalidParameterError(f"norm must be one of {_NORMS}, got {norm!r}")
+    pmf = np.asarray(pmf, dtype=np.float64)
+    if pmf.ndim != 1 or pmf.shape[0] == 0:
+        raise InvalidParameterError("pmf must be a non-empty 1-d array")
+    if int(k) != k or k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    if k > pmf.shape[0]:
+        raise InvalidParameterError(
+            f"k={k} exceeds the domain size n={pmf.shape[0]}"
+        )
+    return pmf
+
+
+def l1_piece_cost_matrix(pmf: np.ndarray) -> np.ndarray:
+    """``C[s, t] = min_v sum_{i in [s, t)} |p_i - v|`` for all ``s < t``.
+
+    The minimiser is the median; costs are accumulated incrementally with
+    a two-heap running median, ``O(n^2 log n)`` total.  The returned matrix
+    has shape ``(n + 1, n + 1)`` with zeros on and below the diagonal.
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    n = pmf.shape[0]
+    costs = np.zeros((n + 1, n + 1), dtype=np.float64)
+    for s in range(n):
+        lower: list[float] = []  # max-heap (negated): values <= median
+        upper: list[float] = []  # min-heap: values >= median
+        lower_sum = 0.0
+        upper_sum = 0.0
+        for t in range(s + 1, n + 1):
+            x = float(pmf[t - 1])
+            if not lower or x <= -lower[0]:
+                heapq.heappush(lower, -x)
+                lower_sum += x
+            else:
+                heapq.heappush(upper, x)
+                upper_sum += x
+            if len(lower) > len(upper) + 1:
+                moved = -heapq.heappop(lower)
+                lower_sum -= moved
+                heapq.heappush(upper, moved)
+                upper_sum += moved
+            elif len(upper) > len(lower):
+                moved = heapq.heappop(upper)
+                upper_sum -= moved
+                heapq.heappush(lower, -moved)
+                lower_sum += moved
+            median = -lower[0]
+            cost = (median * len(lower) - lower_sum) + (
+                upper_sum - median * len(upper)
+            )
+            costs[s, t] = cost
+    return costs
+
+
+def _dp(pmf: np.ndarray, k: int, norm: str) -> tuple[float, np.ndarray]:
+    """Run the DP; return ``(optimal cost, boundaries)``."""
+    n = pmf.shape[0]
+    if norm == "l2":
+        prefix = np.concatenate(([0.0], np.cumsum(pmf)))
+        sq_prefix = np.concatenate(([0.0], np.cumsum(pmf * pmf)))
+
+        def costs_into(t: int) -> np.ndarray:
+            """cost(s, t) for all s in [0, t)."""
+            s = np.arange(t)
+            mass = prefix[t] - prefix[s]
+            return sq_prefix[t] - sq_prefix[s] - mass * mass / (t - s)
+
+    else:
+        matrix = l1_piece_cost_matrix(pmf)
+
+        def costs_into(t: int) -> np.ndarray:
+            return matrix[:t, t]
+
+    inf = np.inf
+    best = np.full(n + 1, inf, dtype=np.float64)
+    best[0] = 0.0
+    parents = np.zeros((k, n + 1), dtype=np.int64)
+    for j in range(k):
+        nxt = np.full(n + 1, inf, dtype=np.float64)
+        # A prefix [0, t) needs at least j + 1 points for j + 1 non-empty
+        # pieces, and must leave k - j - 1 points for the remaining pieces.
+        for t in range(j + 1, n - (k - j - 1) + 1):
+            candidates = best[:t] + costs_into(t)
+            s = int(np.argmin(candidates))
+            nxt[t] = candidates[s]
+            parents[j, t] = s
+        best = nxt
+    boundaries = np.empty(k + 1, dtype=np.int64)
+    boundaries[k] = n
+    for j in range(k - 1, -1, -1):
+        boundaries[j] = parents[j, boundaries[j + 1]]
+    return float(best[n]), boundaries
+
+
+def voptimal_cost(pmf: np.ndarray, k: int, norm: str = "l2") -> float:
+    """Optimal k-piece cost of ``pmf``.
+
+    For ``norm="l2"`` this is ``min_H ||p - H||_2^2`` over tiling
+    k-histograms ``H`` (note: *squared* l2); for ``norm="l1"`` it is
+    ``min_H ||p - H||_1``.  The minimum is over arbitrary piecewise-constant
+    functions (values need not form a distribution), which lower-bounds the
+    distance to k-histogram *distributions* and therefore certifies
+    epsilon-farness.
+    """
+    pmf = _check_inputs(pmf, k, norm)
+    cost, _ = _dp(pmf, k, norm)
+    return max(cost, 0.0)
+
+
+def voptimal_histogram(pmf: np.ndarray, k: int, norm: str = "l2") -> TilingHistogram:
+    """The optimal tiling k-histogram ``H*`` for ``pmf``.
+
+    Values are the per-piece best fit (mean for l2, median for l1).
+    """
+    pmf = _check_inputs(pmf, k, norm)
+    _, boundaries = _dp(pmf, k, norm)
+    values = best_fit_values(pmf, boundaries, norm=norm)
+    return TilingHistogram(pmf.shape[0], boundaries, values)
+
+
+def voptimal_from_samples(
+    samples: np.ndarray, n: int, k: int, norm: str = "l2"
+) -> TilingHistogram:
+    """Plug-in baseline: empirical pmf from ``samples``, then the exact DP.
+
+    This is the natural "learn then optimise" comparator for the paper's
+    greedy algorithm: it needs the same samples but ``O(n^2 k)`` time.
+    """
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    counts = np.bincount(samples, minlength=n).astype(np.float64)
+    if counts.shape[0] > n:
+        raise InvalidParameterError("samples contain values outside [0, n)")
+    return voptimal_histogram(counts / samples.size, k, norm=norm)

@@ -1,0 +1,56 @@
+"""The paper's algorithms.
+
+* :func:`learn_histogram` — the greedy priority-histogram learner
+  (Algorithm 1 / Theorem 1 with ``method="exhaustive"``, the improved
+  Theorem 2 variant with ``method="fast"``);
+* :func:`test_k_histogram_l2` / :func:`test_k_histogram_l1` — the tiling
+  k-histogram testers of Section 4 (Theorems 3 and 4);
+* :mod:`repro.core.lower_bound` — the Theorem 5 hard instances;
+* :func:`test_uniformity` — the [GR00] collision uniformity tester
+  (the ``k = 1`` special case the paper builds on).
+"""
+
+from repro.core.candidates import (
+    all_interval_candidates,
+    sample_endpoint_candidates,
+)
+from repro.core.flatness import FlatnessResult, test_flatness_l1, test_flatness_l2
+from repro.core.greedy import learn_histogram
+from repro.core.identity import IdentityResult, test_identity_l2
+from repro.core.lower_bound import (
+    collision_distinguisher,
+    no_instance,
+    yes_instance,
+)
+from repro.core.params import GreedyParams, TesterParams, greedy_rounds, xi
+from repro.core.results import FlatnessQuery, LearnResult, TestResult, UniformityResult
+from repro.core.selection import SelectionResult, estimate_min_k
+from repro.core.tester import test_k_histogram_l1, test_k_histogram_l2
+from repro.core.uniformity import test_uniformity
+
+__all__ = [
+    "FlatnessQuery",
+    "FlatnessResult",
+    "GreedyParams",
+    "IdentityResult",
+    "LearnResult",
+    "SelectionResult",
+    "TestResult",
+    "TesterParams",
+    "UniformityResult",
+    "all_interval_candidates",
+    "collision_distinguisher",
+    "estimate_min_k",
+    "greedy_rounds",
+    "learn_histogram",
+    "no_instance",
+    "sample_endpoint_candidates",
+    "test_flatness_l1",
+    "test_flatness_l2",
+    "test_identity_l2",
+    "test_k_histogram_l1",
+    "test_k_histogram_l2",
+    "test_uniformity",
+    "xi",
+    "yes_instance",
+]

@@ -1,0 +1,120 @@
+"""Flatness tests: Algorithm 3 (l2) and Algorithm 4 (l1).
+
+Both certify that an interval ``I`` is close to flat (conditionally
+uniform or light) from collision statistics:
+
+* an interval can be light — too few hits to matter (step 1 in both
+  algorithms; such intervals cost little in the final distance), or
+* its conditional collision probability ``||p_I||_2^2`` — estimated by
+  the median-of-r [GR00] statistic — is close to the uniform level
+  ``1 / |I|``.
+
+Pseudocode note (DESIGN.md): the papers' step 3 writes ``C(|S^1|, 2)`` as
+the denominator, but the surrounding proofs (Eqs. 28–29 and 35) use
+``C(|S^i_I|, 2)``; we follow the proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import flatness_l1_min_hits
+from repro.errors import InvalidParameterError
+from repro.samples.estimators import MultiSketch
+
+REASON_LIGHT = "light-weight"
+REASON_COLLISION_OK = "collision-bound"
+REASON_REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class FlatnessResult:
+    """Verdict of one flatness test.
+
+    Attributes
+    ----------
+    accepted:
+        Whether the interval passed as (close to) flat.
+    reason:
+        ``"light-weight"`` (step-1 accept), ``"collision-bound"``
+        (statistic under threshold) or ``"rejected"``.
+    statistic:
+        The median collision estimate ``z_I`` (``None`` on light accepts).
+    threshold:
+        The acceptance threshold compared against (``None`` on light
+        accepts).
+    """
+
+    accepted: bool
+    reason: str
+    statistic: float | None
+    threshold: float | None
+
+
+def _check_interval(start: int, stop: int) -> int:
+    if stop <= start:
+        raise InvalidParameterError(
+            f"flatness test needs a non-empty interval, got [{start}, {stop})"
+        )
+    return stop - start
+
+
+def test_flatness_l2(
+    multi: MultiSketch, start: int, stop: int, epsilon: float
+) -> FlatnessResult:
+    """``testFlatness-l2`` (Algorithm 3).
+
+    1. ``p_hat_i(I) = 2 |S^i_I| / m``;
+    2. accept if any ``|S^i_I| / m < eps^2 / 2`` (light interval);
+    3. ``z_I`` = median of per-set conditional collision estimates;
+    4. accept iff ``z_I <= 1/|I| + max_i eps^2 / (2 p_hat_i(I))``.
+    """
+    length = _check_interval(start, stop)
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    m = multi.set_size
+    counts = multi.counts(start, stop).astype(np.float64)
+    if np.any(counts / m < epsilon**2 / 2):
+        return FlatnessResult(True, REASON_LIGHT, None, None)
+    p_hat = 2.0 * counts / m
+    z = float(multi.median_conditional_norm(start, stop))
+    threshold = 1.0 / length + float(np.max(epsilon**2 / (2.0 * p_hat)))
+    if z <= threshold:
+        return FlatnessResult(True, REASON_COLLISION_OK, z, threshold)
+    return FlatnessResult(False, REASON_REJECTED, z, threshold)
+
+
+def test_flatness_l1(
+    multi: MultiSketch,
+    start: int,
+    stop: int,
+    epsilon: float,
+    scale: float = 1.0,
+) -> FlatnessResult:
+    """``testFlatness-l1`` (Algorithm 4).
+
+    1. accept if any ``|S^i_I| < 16^3 sqrt(|I|) / eps^4`` (light);
+    2. ``z_I`` = median of per-set conditional collision estimates;
+    3. accept iff ``z_I <= (1/|I|) (1 + eps^2 / 4)``.
+
+    ``scale`` rescales the step-1 hit threshold in proportion to the
+    sample sizes: the paper's threshold is an absolute count calibrated
+    to ``m = 2^13 sqrt(kn) / eps^5``, so running at ``scale * m`` samples
+    requires ``scale *`` the threshold to test the same weight level.
+    """
+    length = _check_interval(start, stop)
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < scale <= 1.0:
+        raise InvalidParameterError(f"scale must be in (0, 1], got {scale}")
+    counts = multi.counts(start, stop)
+    min_hits = scale * flatness_l1_min_hits(length, epsilon)
+    if np.any(counts < min_hits):
+        return FlatnessResult(True, REASON_LIGHT, None, None)
+    z = float(multi.median_conditional_norm(start, stop))
+    threshold = (1.0 / length) * (1.0 + epsilon**2 / 4.0)
+    if z <= threshold:
+        return FlatnessResult(True, REASON_COLLISION_OK, z, threshold)
+    return FlatnessResult(False, REASON_REJECTED, z, threshold)

@@ -1,0 +1,118 @@
+"""Result objects returned by the paper's algorithms.
+
+All of them are rich on purpose: the experiment harness (and the examples)
+introspect partitions, per-round traces and flatness queries rather than
+just final verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import GreedyParams, TesterParams
+from repro.histograms.intervals import Interval
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+
+
+@dataclass(frozen=True)
+class GreedyRound:
+    """Trace of one greedy iteration (Algorithm 1, steps 7-10)."""
+
+    round_index: int
+    chosen: Interval
+    weight_estimate: float
+    estimated_cost: float
+    candidates_evaluated: int
+
+
+@dataclass(frozen=True)
+class LearnResult:
+    """Output of the greedy learner.
+
+    Attributes
+    ----------
+    histogram:
+        The learned histogram flattened to a tiling (ready for queries).
+    priority_histogram:
+        The raw priority histogram the algorithm maintains (the paper's
+        output representation).
+    params:
+        The resolved sample sizes used.
+    rounds:
+        Per-round trace (chosen interval, estimated cost, ...).
+    method:
+        ``"exhaustive"`` (Algorithm 1) or ``"fast"`` (Theorem 2).
+    num_candidates:
+        Size of the candidate interval set.
+    samples_used:
+        Total samples drawn.
+    filled_histogram:
+        Like ``histogram`` but with never-covered gaps carrying their
+        estimated weight instead of 0 — an application extension that
+        helps range queries over low-density regions (see DESIGN.md).
+    """
+
+    histogram: TilingHistogram
+    priority_histogram: PriorityHistogram
+    params: GreedyParams
+    rounds: list[GreedyRound]
+    method: str
+    num_candidates: int
+    samples_used: int
+    filled_histogram: TilingHistogram | None = None
+
+    @property
+    def estimated_cost(self) -> float:
+        """The final round's estimated squared-l2 cost ``c_J``."""
+        if not self.rounds:
+            return float("nan")
+        return self.rounds[-1].estimated_cost
+
+
+@dataclass(frozen=True)
+class FlatnessQuery:
+    """One flatness-oracle invocation made by Algorithm 2."""
+
+    interval: Interval
+    accepted: bool
+    reason: str
+    statistic: float | None
+    threshold: float | None
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Output of the tiling k-histogram testers (Theorems 3 and 4).
+
+    ``partition`` holds the flat intervals discovered before the verdict;
+    on acceptance they cover ``[0, n)`` with at most ``k`` pieces.
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    accepted: bool
+    norm: str
+    k: int
+    epsilon: float
+    partition: list[Interval]
+    queries: list[FlatnessQuery]
+    params: TesterParams
+    samples_used: int
+
+    @property
+    def num_flatness_queries(self) -> int:
+        """How many flatness tests the binary search performed."""
+        return len(self.queries)
+
+
+@dataclass(frozen=True)
+class UniformityResult:
+    """Output of the [GR00] collision uniformity tester."""
+
+    accepted: bool
+    statistic: float
+    threshold: float
+    epsilon: float
+    samples_used: int
+    collisions: int = field(default=0)

@@ -1,0 +1,130 @@
+"""Model selection: estimate the smallest credible ``k`` by testing.
+
+The paper's testers decide membership for a *given* ``k``; iterating them
+over increasing ``k`` turns them into a sub-linear model-selection
+procedure (the smallest accepted ``k`` is a credible bucket count).  To
+avoid paying the sample complexity once per candidate ``k``, the search
+reuses one set of sample sets across all candidates — Algorithm 2 already
+takes a union bound over all ``n^2`` intervals, so reuse is sound.
+
+This module is an extension beyond the paper (documented in DESIGN.md):
+the paper's machinery composes into it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flatness import test_flatness_l1, test_flatness_l2
+from repro.core.params import TesterParams
+from repro.core.tester import flat_partition
+from repro.errors import InvalidParameterError
+from repro.histograms.intervals import Interval
+from repro.samples.estimators import MultiSketch
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Output of :func:`estimate_min_k`.
+
+    Attributes
+    ----------
+    k:
+        The smallest candidate ``k`` whose partition search covered the
+        domain, or ``None`` when none did.
+    partition:
+        The flat partition found at that ``k`` (its length can be below
+        ``k``).
+    tried:
+        Every candidate ``k`` examined, with its verdict.
+    samples_used:
+        Total samples drawn (shared across all candidates).
+    """
+
+    k: "int | None"
+    partition: list[Interval]
+    tried: list[tuple[int, bool]]
+    samples_used: int
+
+
+def estimate_min_k(
+    source: object,
+    n: int,
+    epsilon: float,
+    *,
+    max_k: int | None = None,
+    norm: str = "l1",
+    params: TesterParams | None = None,
+    scale: float = 1.0,
+    rng: "int | None | np.random.Generator" = None,
+) -> SelectionResult:
+    """Smallest ``k`` for which the tiling k-histogram tester accepts.
+
+    Parameters
+    ----------
+    source:
+        Sampling access to the distribution.
+    n:
+        Domain size.
+    epsilon:
+        Testing accuracy (the answer is sound up to the testers'
+        epsilon-gap: a distribution epsilon-close to a k-histogram may be
+        accepted at that ``k``).
+    max_k:
+        Largest candidate to try (default ``n``).
+    norm:
+        ``"l1"`` or ``"l2"`` — which tester to use.
+    params / scale / rng:
+        As in the testers.
+
+    Notes
+    -----
+    Runs the partition search once with ``max_pieces = max_k`` and reads
+    the answer off the discovered partition: the search is greedy from
+    the left, so the number of flat intervals needed to cover ``[0, n)``
+    is exactly the smallest ``k`` the tester would accept with these
+    samples.
+    """
+    if max_k is None:
+        max_k = n
+    if not 1 <= max_k <= n:
+        raise InvalidParameterError(f"max_k must be in [1, n], got {max_k}")
+    if norm not in ("l1", "l2"):
+        raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
+
+    if params is None:
+        if norm == "l2":
+            params = TesterParams.l2_from_paper(n, epsilon, scale=scale)
+        else:
+            params = TesterParams.l1_from_paper(n, max_k, epsilon, scale=scale)
+
+    generator = as_rng(rng)
+    sample_sets = [
+        np.asarray(source.sample(params.set_size, generator))
+        for _ in range(params.num_sets)
+    ]
+    multi = MultiSketch.from_sample_sets(sample_sets, n)
+
+    if norm == "l2":
+        def oracle(start: int, stop: int):
+            return test_flatness_l2(multi, start, stop, epsilon)
+    else:
+        paper_set_size = (2**13) * np.sqrt(max_k * n) / epsilon**5
+        effective_scale = min(1.0, params.set_size / paper_set_size)
+
+        def oracle(start: int, stop: int):
+            return test_flatness_l1(multi, start, stop, epsilon, scale=effective_scale)
+
+    partition, _ = flat_partition(n, max_k, oracle)
+    covered = partition[-1].stop if partition else 0
+    found: int | None = len(partition) if covered >= n else None
+    tried = [(k, found is not None and k >= found) for k in range(1, max_k + 1)]
+    return SelectionResult(
+        k=found,
+        partition=partition,
+        tried=tried,
+        samples_used=params.total_samples,
+    )

@@ -1,0 +1,180 @@
+"""Tiling k-histogram testers (Algorithm 2; Theorems 3 and 4).
+
+Algorithm 2 tries to cover ``[0, n)`` with at most ``k`` flat intervals.
+Starting from the left edge it binary-searches for the farthest endpoint
+whose interval still passes the flatness test, commits that interval, and
+repeats; it accepts iff ``k`` intervals suffice.
+
+Accept-condition note (DESIGN.md): the paper's pseudocode accepts when
+``previous = n`` (1-based), but the binary search leaves ``low = n + 1``
+when the final interval is flat; the reachable condition — implemented
+here — is ``previous >= n`` in 0-based half-open coordinates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.flatness import (
+    REASON_REJECTED,
+    FlatnessResult,
+    test_flatness_l1,
+    test_flatness_l2,
+)
+from repro.core.params import TesterParams
+from repro.core.results import FlatnessQuery, TestResult
+from repro.errors import InvalidParameterError
+from repro.histograms.intervals import Interval
+from repro.samples.estimators import MultiSketch
+from repro.utils.rng import as_rng
+
+FlatnessOracle = Callable[[int, int], FlatnessResult]
+
+
+def flat_partition(
+    n: int,
+    max_pieces: int,
+    oracle: FlatnessOracle,
+) -> tuple[list[Interval], list[FlatnessQuery]]:
+    """Algorithm 2's partition search, generic over the flatness oracle.
+
+    Returns the flat intervals found (in order) and the full query log.
+    The caller decides acceptance from whether the intervals cover the
+    domain.
+    """
+    if max_pieces < 1:
+        raise InvalidParameterError(f"max_pieces must be >= 1, got {max_pieces}")
+    queries: list[FlatnessQuery] = []
+    partition: list[Interval] = []
+
+    def flat(start: int, stop: int) -> bool:
+        result = oracle(start, stop)
+        queries.append(
+            FlatnessQuery(
+                interval=Interval(start, stop),
+                accepted=result.accepted,
+                reason=result.reason,
+                statistic=result.statistic,
+                threshold=result.threshold,
+            )
+        )
+        return result.accepted
+
+    previous = 0
+    for _ in range(max_pieces):
+        low, high = previous, n - 1
+        while high >= low:
+            mid = low + (high - low) // 2
+            if flat(previous, mid + 1):
+                low = mid + 1
+            else:
+                high = mid - 1
+        if low == previous:
+            # A single element is always flat in exact arithmetic; this
+            # branch is a defensive guard against a stuck search.
+            break
+        partition.append(Interval(previous, low))
+        previous = low
+        if previous >= n:
+            break
+    return partition, queries
+
+
+def _run_tester(
+    source: object,
+    n: int,
+    k: int,
+    epsilon: float,
+    norm: str,
+    params: TesterParams,
+    oracle_factory: Callable[[MultiSketch], FlatnessOracle],
+    rng: "int | None | np.random.Generator",
+) -> TestResult:
+    generator = as_rng(rng)
+    sample_sets = [
+        np.asarray(source.sample(params.set_size, generator))
+        for _ in range(params.num_sets)
+    ]
+    multi = MultiSketch.from_sample_sets(sample_sets, n)
+    partition, queries = flat_partition(n, k, oracle_factory(multi))
+    covered = partition[-1].stop if partition else 0
+    return TestResult(
+        accepted=covered >= n,
+        norm=norm,
+        k=k,
+        epsilon=epsilon,
+        partition=partition,
+        queries=queries,
+        params=params,
+        samples_used=params.total_samples,
+    )
+
+
+def test_k_histogram_l2(
+    source: object,
+    n: int,
+    k: int,
+    epsilon: float,
+    *,
+    scale: float = 1.0,
+    params: TesterParams | None = None,
+    rng: "int | None | np.random.Generator" = None,
+) -> TestResult:
+    """Theorem 3 tester: is ``p`` a tiling k-histogram, or eps-far in l2?
+
+    Draws ``r = 16 ln(6 n^2)`` sets of ``m = 64 ln(n) / eps^4`` samples
+    (times ``scale``) and runs Algorithm 2 with ``testFlatness-l2``.
+
+    Guarantees (at ``scale = 1``): members are accepted and distributions
+    eps-far in l2 are rejected, each with probability at least 2/3.
+    """
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must be in [1, n], got k={k}, n={n}")
+    if params is None:
+        params = TesterParams.l2_from_paper(n, epsilon, scale=scale)
+
+    def factory(multi: MultiSketch) -> FlatnessOracle:
+        return lambda start, stop: test_flatness_l2(multi, start, stop, epsilon)
+
+    return _run_tester(source, n, k, epsilon, "l2", params, factory, rng)
+
+
+def test_k_histogram_l1(
+    source: object,
+    n: int,
+    k: int,
+    epsilon: float,
+    *,
+    scale: float = 1.0,
+    params: TesterParams | None = None,
+    rng: "int | None | np.random.Generator" = None,
+) -> TestResult:
+    """Theorem 4 tester: is ``p`` a tiling k-histogram, or eps-far in l1?
+
+    Draws ``r = 16 ln(6 n^2)`` sets of ``m = 2^13 sqrt(kn) / eps^5``
+    samples (times ``scale``) and runs Algorithm 2 with
+    ``testFlatness-l1``; the light-interval threshold scales with ``m``.
+    """
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must be in [1, n], got k={k}, n={n}")
+    if params is None:
+        params = TesterParams.l1_from_paper(n, k, epsilon, scale=scale)
+    # The light-interval threshold of testFlatness-l1 is an absolute hit
+    # count calibrated to the paper's m; rescale it to the actual set size
+    # so explicitly supplied params stay consistent.
+    paper_set_size = (2**13) * np.sqrt(k * n) / epsilon**5
+    effective_scale = min(1.0, params.set_size / paper_set_size)
+
+    def factory(multi: MultiSketch) -> FlatnessOracle:
+        return lambda start, stop: test_flatness_l1(
+            multi, start, stop, epsilon, scale=effective_scale
+        )
+
+    return _run_tester(source, n, k, epsilon, "l1", params, factory, rng)
+
+
+def count_rejections(result: TestResult) -> int:
+    """Number of rejected flatness queries in a test run (diagnostics)."""
+    return sum(1 for q in result.queries if q.reason == REASON_REJECTED)

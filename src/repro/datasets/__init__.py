@@ -1,0 +1,15 @@
+"""Synthetic database columns for the examples and application benchmarks."""
+
+from repro.datasets.synthetic import (
+    ages_column,
+    product_popularity_column,
+    salaries_column,
+    sensor_readings_column,
+)
+
+__all__ = [
+    "ages_column",
+    "product_popularity_column",
+    "salaries_column",
+    "sensor_readings_column",
+]

@@ -1,0 +1,88 @@
+"""Synthetic database columns.
+
+The paper motivates histograms with "data attributes (e.g., employees age
+or salary) in databases"; these generators produce such columns as integer
+arrays over ``[0, n)``, ready for :class:`repro.distributions.EmpiricalDistribution`.
+
+Each function returns ``(values, n)`` where ``values`` is the column and
+``n`` the domain size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.rng import as_rng
+
+
+def _check(rows: int) -> None:
+    if rows < 1:
+        raise InvalidParameterError(f"rows must be >= 1, got {rows}")
+
+
+def salaries_column(
+    rows: int, n: int = 2048, rng: "int | None | np.random.Generator" = None
+) -> tuple[np.ndarray, int]:
+    """Log-normal salaries bucketed to ``n`` bands.
+
+    The classic right-skewed attribute: most rows land in a narrow band,
+    a long tail of large values follows.
+    """
+    _check(rows)
+    generator = as_rng(rng)
+    raw = generator.lognormal(mean=11.0, sigma=0.5, size=rows)
+    scaled = np.clip(raw / 300_000.0, 0.0, 1.0 - 1e-12)
+    return (scaled * n).astype(np.int64), n
+
+
+def ages_column(
+    rows: int, n: int = 128, rng: "int | None | np.random.Generator" = None
+) -> tuple[np.ndarray, int]:
+    """Employee ages: a truncated bimodal mixture (new hires + veterans)."""
+    _check(rows)
+    generator = as_rng(rng)
+    young = generator.normal(28, 5, size=rows // 2)
+    older = generator.normal(48, 8, size=rows - rows // 2)
+    ages = np.clip(np.concatenate([young, older]), 0, n - 1)
+    generator.shuffle(ages)
+    return ages.astype(np.int64), n
+
+
+def product_popularity_column(
+    rows: int,
+    n: int = 4096,
+    exponent: float = 1.1,
+    rng: "int | None | np.random.Generator" = None,
+) -> tuple[np.ndarray, int]:
+    """Product ids drawn with Zipfian popularity (heavy head, long tail)."""
+    _check(rows)
+    if exponent <= 0:
+        raise InvalidParameterError(f"exponent must be > 0, got {exponent}")
+    generator = as_rng(rng)
+    weights = np.arange(1, n + 1, dtype=np.float64) ** (-exponent)
+    pmf = weights / weights.sum()
+    cdf = np.cumsum(pmf)
+    cdf[-1] = 1.0
+    return np.searchsorted(cdf, generator.random(rows), side="right").astype(
+        np.int64
+    ), n
+
+
+def sensor_readings_column(
+    rows: int, n: int = 1024, rng: "int | None | np.random.Generator" = None
+) -> tuple[np.ndarray, int]:
+    """Quantised sensor values: flat operating bands with step changes.
+
+    This column genuinely is a coarse histogram (plus sampling noise), so
+    the paper's tester should accept it at small ``k`` — used by the
+    model-selection example.
+    """
+    _check(rows)
+    generator = as_rng(rng)
+    bands = np.array([0.05, 0.45, 0.3, 0.2])
+    edges = (n * np.array([0.0, 0.3, 0.55, 0.8, 1.0])).astype(np.int64)
+    band_of_row = generator.choice(4, size=rows, p=bands / bands.sum())
+    lo = edges[band_of_row]
+    hi = edges[band_of_row + 1]
+    return (lo + (generator.random(rows) * (hi - lo)).astype(np.int64)), n

@@ -1,0 +1,74 @@
+"""Discrete distributions over ``[0, n)`` and everything around them.
+
+This package is the sampling substrate for the paper's algorithms:
+
+* :class:`DiscreteDistribution` — validated pmf with fast inverse-cdf
+  sampling and the interval queries (``p(I)``, ``p_I``, second moments)
+  the analysis manipulates;
+* :mod:`repro.distributions.families` — named distribution families used
+  as experiment workloads (YES instances: random tiling k-histograms; NO
+  instances: sawtooth, ramps, bumps, ...);
+* :mod:`repro.distributions.perturb` — distance-controlled perturbations
+  for the testing-gap experiments;
+* :mod:`repro.distributions.property_distance` — exact distance to the
+  class of tiling k-histograms via the v-optimal DP (the epsilon-far
+  certifier);
+* :mod:`repro.distributions.empirical` — empirical distributions from
+  sample arrays.
+"""
+
+from repro.distributions.base import DiscreteDistribution
+from repro.distributions.distances import (
+    as_pmf,
+    l1_distance,
+    l2_distance,
+    l2_distance_squared,
+    linf_distance,
+    total_variation,
+)
+from repro.distributions.empirical import EmpiricalDistribution, empirical_pmf
+from repro.distributions.families import (
+    dirichlet_random,
+    gaussian_mixture,
+    geometric,
+    linear_ramp,
+    random_tiling_histogram,
+    sawtooth,
+    spikes,
+    two_level,
+    uniform,
+    zipf,
+)
+from repro.distributions.perturb import mix, perturb_within_pieces
+from repro.distributions.property_distance import (
+    distance_to_k_histogram,
+    is_k_histogram,
+    nearest_k_histogram,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "EmpiricalDistribution",
+    "as_pmf",
+    "dirichlet_random",
+    "distance_to_k_histogram",
+    "empirical_pmf",
+    "gaussian_mixture",
+    "geometric",
+    "is_k_histogram",
+    "l1_distance",
+    "l2_distance",
+    "l2_distance_squared",
+    "linear_ramp",
+    "linf_distance",
+    "mix",
+    "nearest_k_histogram",
+    "perturb_within_pieces",
+    "random_tiling_histogram",
+    "sawtooth",
+    "spikes",
+    "total_variation",
+    "two_level",
+    "uniform",
+    "zipf",
+]

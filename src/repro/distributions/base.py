@@ -1,0 +1,214 @@
+"""The :class:`DiscreteDistribution` type.
+
+A validated probability vector over the domain ``[0, n)`` with
+
+* fast inverse-cdf sampling (the only access the paper's algorithms get),
+* the interval functionals the analysis uses throughout: the weight
+  ``p(I)``, the conditional distribution ``p_I``, the second moment
+  ``sum_{i in I} p_i^2`` and the conditional collision probability
+  ``||p_I||_2^2``,
+* the paper's notion of *flat* intervals (Section 2): ``I`` is flat when
+  ``p_I`` is uniform or ``p(I) = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidDistributionError
+from repro.histograms.intervals import Interval
+from repro.utils.rng import as_rng
+
+
+class DiscreteDistribution:
+    """An explicit discrete distribution over ``[0, n)``.
+
+    Parameters
+    ----------
+    pmf:
+        Non-negative vector summing to 1 within ``atol`` (it is then
+        renormalised exactly).
+    atol:
+        Validation tolerance on the total mass.
+    """
+
+    __slots__ = ("_pmf", "_cdf", "_sq_prefix")
+
+    def __init__(self, pmf: np.ndarray, atol: float = 1e-8) -> None:
+        pmf = np.asarray(pmf, dtype=np.float64)
+        if pmf.ndim != 1 or pmf.shape[0] == 0:
+            raise InvalidDistributionError(
+                f"pmf must be a non-empty 1-d array, got shape {pmf.shape}"
+            )
+        if not np.all(np.isfinite(pmf)):
+            raise InvalidDistributionError("pmf entries must be finite")
+        if np.any(pmf < 0):
+            raise InvalidDistributionError("pmf entries must be non-negative")
+        total = pmf.sum()
+        if abs(total - 1.0) > atol:
+            raise InvalidDistributionError(
+                f"pmf must sum to 1 (+- {atol}), got {total}"
+            )
+        self._pmf = pmf / total
+        self._pmf.flags.writeable = False
+        self._cdf: np.ndarray | None = None
+        self._sq_prefix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_weights(cls, weights: np.ndarray) -> "DiscreteDistribution":
+        """Normalise an arbitrary non-negative weight vector."""
+        weights = np.asarray(weights, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise InvalidDistributionError("weights must have positive total mass")
+        return cls(weights / total)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Domain size."""
+        return self._pmf.shape[0]
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """The probability vector (read-only)."""
+        return self._pmf
+
+    @property
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution, ``cdf[i] = p([0, i])`` (cached)."""
+        if self._cdf is None:
+            self._cdf = np.cumsum(self._pmf)
+            self._cdf[-1] = 1.0
+            self._cdf.flags.writeable = False
+        return self._cdf
+
+    @property
+    def _squared_prefix(self) -> np.ndarray:
+        if self._sq_prefix is None:
+            self._sq_prefix = np.concatenate(([0.0], np.cumsum(self._pmf**2)))
+            self._sq_prefix.flags.writeable = False
+        return self._sq_prefix
+
+    def support_size(self) -> int:
+        """Number of elements with positive probability."""
+        return int(np.count_nonzero(self._pmf))
+
+    # ------------------------------------------------------------------ #
+    # interval functionals
+    # ------------------------------------------------------------------ #
+
+    def _check_interval(self, interval: Interval) -> None:
+        if interval.stop > self.n:
+            raise InvalidDistributionError(
+                f"interval {interval} exceeds the domain [0, {self.n})"
+            )
+
+    def weight(self, interval: Interval) -> float:
+        """``p(I) = sum_{i in I} p_i`` (paper Section 2)."""
+        self._check_interval(interval)
+        low = self.cdf[interval.start - 1] if interval.start > 0 else 0.0
+        return float(self.cdf[interval.stop - 1] - low)
+
+    def second_moment(self, interval: Interval | None = None) -> float:
+        """``sum_{i in I} p_i^2`` (the quantity Lemma 1 estimates).
+
+        With ``interval=None`` this is ``||p||_2^2`` over the whole domain.
+        """
+        if interval is None:
+            interval = Interval(0, self.n)
+        self._check_interval(interval)
+        prefix = self._squared_prefix
+        return float(prefix[interval.stop] - prefix[interval.start])
+
+    def conditional(self, interval: Interval) -> "DiscreteDistribution":
+        """The conditional distribution ``p_I`` (paper Section 2).
+
+        Raises :class:`InvalidDistributionError` when ``p(I) = 0``.
+        """
+        self._check_interval(interval)
+        mass = self.weight(interval)
+        if mass <= 0:
+            raise InvalidDistributionError(
+                f"cannot condition on zero-weight interval {interval}"
+            )
+        sub = np.zeros(interval.length, dtype=np.float64)
+        sub[:] = self._pmf[interval.start : interval.stop] / mass
+        return DiscreteDistribution(sub)
+
+    def conditional_collision_probability(self, interval: Interval) -> float:
+        """``||p_I||_2^2``, the value the flatness tests estimate.
+
+        Defined as 0 when ``p(I) = 0`` (such intervals are flat by
+        definition and never reach a collision estimate in the paper's
+        algorithms).
+        """
+        self._check_interval(interval)
+        mass = self.weight(interval)
+        if mass <= 0:
+            return 0.0
+        return self.second_moment(interval) / (mass * mass)
+
+    def is_flat(self, interval: Interval, rtol: float = 1e-9) -> bool:
+        """Paper Section 2: ``I`` is flat iff ``p_I`` is uniform or
+        ``p(I) = 0``."""
+        self._check_interval(interval)
+        mass = self.weight(interval)
+        if mass <= 0:
+            return True
+        segment = self._pmf[interval.start : interval.stop]
+        level = mass / interval.length
+        return bool(np.allclose(segment, level, rtol=rtol, atol=1e-15))
+
+    def min_histogram_pieces(self) -> int:
+        """The smallest ``k`` such that ``p`` is a tiling k-histogram.
+
+        This is simply the number of maximal constant runs of the pmf.
+        """
+        return int(np.count_nonzero(np.diff(self._pmf)) + 1)
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(
+        self, size: int, rng: int | None | np.random.Generator = None
+    ) -> np.ndarray:
+        """Draw ``size`` i.i.d. samples (int64 array) by inverse cdf."""
+        if size < 0:
+            raise InvalidDistributionError(f"sample size must be >= 0, got {size}")
+        generator = as_rng(rng)
+        uniforms = generator.random(size)
+        return np.searchsorted(self.cdf, uniforms, side="right").astype(np.int64)
+
+    def sample_sets(
+        self,
+        num_sets: int,
+        set_size: int,
+        rng: int | None | np.random.Generator = None,
+    ) -> list[np.ndarray]:
+        """Draw ``num_sets`` independent sample arrays of ``set_size`` each.
+
+        This is the ``S^1, ..., S^r`` pattern used by Algorithm 1 (step 3)
+        and Algorithm 2 (step 1).
+        """
+        generator = as_rng(rng)
+        return [self.sample(set_size, generator) for _ in range(num_sets)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteDistribution):
+            return NotImplemented
+        return np.array_equal(self._pmf, other._pmf)
+
+    def __hash__(self) -> int:
+        return hash(self._pmf.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiscreteDistribution(n={self.n})"

@@ -1,0 +1,68 @@
+"""Distances between distributions and histograms.
+
+The paper measures closeness in the ``l1`` and ``l2`` norms of the
+difference of probability vectors (Section 2).  All functions here accept
+any mix of dense pmf arrays, :class:`DiscreteDistribution`,
+:class:`TilingHistogram` and :class:`PriorityHistogram` operands;
+:func:`as_pmf` performs the coercion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import DiscreteDistribution
+from repro.errors import InvalidDistributionError
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+
+PmfLike = "np.ndarray | DiscreteDistribution | TilingHistogram | PriorityHistogram"
+
+
+def as_pmf(obj: object) -> np.ndarray:
+    """Coerce a distribution-like object to a dense float64 vector."""
+    if isinstance(obj, DiscreteDistribution):
+        return obj.pmf
+    if isinstance(obj, (TilingHistogram, PriorityHistogram)):
+        return obj.to_pmf()
+    arr = np.asarray(obj, dtype=np.float64)
+    if arr.ndim != 1:
+        raise InvalidDistributionError(
+            f"expected a 1-d probability vector, got shape {arr.shape}"
+        )
+    return arr
+
+
+def _diff(p: object, q: object) -> np.ndarray:
+    pv, qv = as_pmf(p), as_pmf(q)
+    if pv.shape != qv.shape:
+        raise InvalidDistributionError(
+            f"domain mismatch: {pv.shape[0]} vs {qv.shape[0]}"
+        )
+    return pv - qv
+
+
+def l1_distance(p: object, q: object) -> float:
+    """``||p - q||_1 = sum_i |p_i - q_i|``."""
+    return float(np.abs(_diff(p, q)).sum())
+
+
+def l2_distance(p: object, q: object) -> float:
+    """``||p - q||_2 = sqrt(sum_i (p_i - q_i)^2)``."""
+    return float(np.linalg.norm(_diff(p, q)))
+
+
+def l2_distance_squared(p: object, q: object) -> float:
+    """``||p - q||_2^2`` (the quantity Theorems 1 and 2 bound)."""
+    diff = _diff(p, q)
+    return float(np.dot(diff, diff))
+
+
+def linf_distance(p: object, q: object) -> float:
+    """``max_i |p_i - q_i|``."""
+    return float(np.abs(_diff(p, q)).max())
+
+
+def total_variation(p: object, q: object) -> float:
+    """Total-variation distance, ``||p - q||_1 / 2``."""
+    return 0.5 * l1_distance(p, q)

@@ -1,0 +1,52 @@
+"""Empirical distributions built from sample arrays.
+
+The "data set D" view of the paper's introduction: a database column of
+values from ``[0, n)`` induces the distribution ``p = P / ||P||_1``, and
+drawing a random row is exactly drawing from ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import DiscreteDistribution
+from repro.errors import InvalidDistributionError
+
+
+def empirical_pmf(samples: np.ndarray, n: int) -> np.ndarray:
+    """The empirical probability vector of ``samples`` over ``[0, n)``."""
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise InvalidDistributionError("need at least one sample")
+    if np.any((samples < 0) | (samples >= n)):
+        raise InvalidDistributionError("samples contain values outside [0, n)")
+    counts = np.bincount(samples.astype(np.int64), minlength=n)
+    return counts / samples.size
+
+
+class EmpiricalDistribution(DiscreteDistribution):
+    """A :class:`DiscreteDistribution` induced by observed data.
+
+    Keeps the raw counts alongside the normalised pmf, which the
+    database-facing modules (selectivity estimation) use for exact answers.
+    """
+
+    __slots__ = ("_counts", "_num_samples")
+
+    def __init__(self, samples: np.ndarray, n: int) -> None:
+        samples = np.asarray(samples)
+        pmf = empirical_pmf(samples, n)
+        super().__init__(pmf)
+        self._counts = np.bincount(samples.astype(np.int64), minlength=n)
+        self._counts.flags.writeable = False
+        self._num_samples = int(samples.size)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Raw occurrence counts per domain element (read-only)."""
+        return self._counts
+
+    @property
+    def num_samples(self) -> int:
+        """Number of data rows the distribution was built from."""
+        return self._num_samples

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidDistributionError(ReproError):
+    """A probability vector is malformed (negative mass, wrong shape,
+    or does not sum to one within tolerance)."""
+
+
+class InvalidIntervalError(ReproError):
+    """An interval is malformed (empty where not allowed, reversed
+    endpoints, or out of the domain ``[0, n)``)."""
+
+
+class InvalidHistogramError(ReproError):
+    """A histogram representation violates its invariants (overlapping
+    tiles, uncovered domain for a tiling histogram, negative values)."""
+
+
+class InvalidParameterError(ReproError):
+    """An algorithm parameter is out of its documented range
+    (e.g. ``epsilon`` outside ``(0, 1)`` or non-positive ``k``)."""
+
+
+class InsufficientSamplesError(ReproError):
+    """An estimator was asked for a quantity its sample set cannot
+    support (e.g. a collision estimate from fewer than two samples
+    when ``strict=True``)."""

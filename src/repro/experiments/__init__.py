@@ -1,0 +1,34 @@
+"""Experiment harness regenerating every table and figure.
+
+The paper is pure theory — its "evaluation" is the theorem statements —
+so each experiment instantiates one claim as a measurable table (T*) or
+curve (F*); the mapping is DESIGN.md section 6 and the recorded outcomes
+live in EXPERIMENTS.md.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments run T1 [--seed 0] [--quick]
+    python -m repro.experiments all
+
+or programmatically::
+
+    from repro.experiments import run_experiment, ExperimentConfig
+    result = run_experiment("T3", ExperimentConfig(seed=1))
+    print(result.to_markdown())
+"""
+
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import (
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

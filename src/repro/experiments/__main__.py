@@ -1,0 +1,55 @@
+"""Command-line entry point: ``python -m repro.experiments ...``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.registry import experiment_ids, get_experiment, run_experiment
+from repro.utils.timing import Timer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the reproduction's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="e.g. T1, F4")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--quick", action="store_true", help="smaller grids")
+
+    sub.add_parser("list", help="list experiments")
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--seed", type=int, default=0)
+    everything.add_argument("--quick", action="store_true")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI body; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            title, _ = get_experiment(experiment_id)
+            print(f"{experiment_id:4s} {title}")
+        return 0
+
+    config = ExperimentConfig(seed=args.seed, quick=args.quick)
+    ids = (
+        [args.experiment_id] if args.command == "run" else experiment_ids()
+    )
+    for experiment_id in ids:
+        with Timer() as timer:
+            result = run_experiment(experiment_id, config)
+        print(result.to_markdown())
+        print(f"\n_[{experiment_id} completed in {timer.elapsed:.1f}s]_\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

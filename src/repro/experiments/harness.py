@@ -1,0 +1,57 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import format_markdown_table
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes
+    ----------
+    seed:
+        Base RNG seed; experiments derive their streams from it, so a
+        fixed seed reproduces the table exactly.
+    quick:
+        Shrink grids/trials for smoke tests and CI; the full table is the
+        default.
+    """
+
+    seed: int = 0
+    quick: bool = False
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``rows`` are printable cells (floats are formatted by
+    :func:`repro.utils.tables.format_markdown_table`); ``notes`` carry
+    the claim being instantiated and the scales used.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        """Render the result as a markdown section."""
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append(format_markdown_table(self.headers, self.rows))
+        if self.notes:
+            lines.append("")
+            lines.extend(f"- {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def accept_rate(flags: "list[bool]") -> float:
+    """Fraction of ``True`` entries (tester acceptance-rate helper)."""
+    if not flags:
+        return float("nan")
+    return sum(flags) / len(flags)

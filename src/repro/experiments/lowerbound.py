@@ -1,0 +1,52 @@
+"""F4 — the Theorem 5 lower-bound transition."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.lower_bound import collision_distinguisher, no_instance, yes_instance
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.utils.rng import spawn_rngs
+
+
+def run_f4(config: ExperimentConfig) -> ExperimentResult:
+    """F4 — distinguishing advantage vs ``m / sqrt(kn)`` (Theorem 5).
+
+    For each ``(n, k)`` and sample budget ``m``, the collision
+    distinguisher classifies fresh YES/NO draws.  Claim: success hovers
+    near chance (0.5) when ``m << sqrt(kn)`` and approaches 1 once ``m``
+    passes a constant multiple of ``sqrt(kn)`` — and the curves for
+    different ``(n, k)`` collapse on the normalised axis.
+    """
+    grids = [(1024, 4), (1024, 16), (4096, 4)]
+    ratios = [0.25, 1.0, 4.0] if config.quick else [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    trials = 10 if config.quick else 30
+    if config.quick:
+        grids = grids[:2]
+    result = ExperimentResult(
+        "F4",
+        "YES/NO distinguishing success vs m / sqrt(kn) (Theorem 5)",
+        ["n", "k", "m/sqrt(kn)", "m", "success rate"],
+        notes=[
+            f"{trials} YES + {trials} NO trials per point; fresh NO instance each trial",
+            "Claim (Thm 5): o(sqrt(kn)) samples give ~0.5 (chance); the",
+            "transition happens at m = Theta(sqrt(kn)) for every (n, k).",
+        ],
+    )
+    rngs = spawn_rngs(config.seed + 7, len(grids) * len(ratios) * trials * 3)
+    idx = 0
+    for n, k in grids:
+        yes = yes_instance(n, k)
+        for ratio in ratios:
+            m = max(4, int(ratio * math.sqrt(k * n)))
+            correct = 0
+            for _ in range(trials):
+                sample = yes.sample(m, rngs[idx]); idx += 1
+                if not collision_distinguisher(sample, n, k).says_no:
+                    correct += 1
+                no = no_instance(n, k, rng=rngs[idx]); idx += 1
+                sample = no.sample(m, rngs[idx]); idx += 1
+                if collision_distinguisher(sample, n, k).says_no:
+                    correct += 1
+            result.rows.append([n, k, ratio, m, correct / (2 * trials)])
+    return result

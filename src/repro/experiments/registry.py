@@ -1,0 +1,56 @@
+"""Registry mapping experiment ids to runners."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import InvalidParameterError
+from repro.experiments.ablations import run_t7, run_t8
+from repro.experiments.estimators_exp import run_t5
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.experiments.learning import run_f1, run_f2, run_t1, run_t2
+from repro.experiments.lowerbound import run_f4
+from repro.experiments.selectivity_exp import run_t6
+from repro.experiments.testing import run_f3, run_t3, run_t4
+
+Runner = Callable[[ExperimentConfig], ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, Runner]] = {
+    "T1": ("Exhaustive greedy vs DP optimum (Theorem 1)", run_t1),
+    "T2": ("Fast greedy vs exhaustive (Theorem 2)", run_t2),
+    "F1": ("Error vs sample budget", run_f1),
+    "F2": ("Runtime scaling with n", run_f2),
+    "T3": ("l2 tester confusion table (Theorem 3)", run_t3),
+    "T4": ("l1 tester confusion table (Theorem 4)", run_t4),
+    "F3": ("Rejection rate vs distance", run_f3),
+    "F4": ("Lower-bound transition (Theorem 5)", run_f4),
+    "T5": ("Collision estimator concentration (Lemma 1)", run_t5),
+    "T6": ("Selectivity estimation application", run_t6),
+    "T7": ("Greedy design ablations", run_t7),
+    "T8": ("k=1 vs GR00 uniformity tester", run_t8),
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in presentation order."""
+    return list(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> tuple[str, Runner]:
+    """``(title, runner)`` for an id; raises on unknown ids."""
+    try:
+        return _REGISTRY[experiment_id.upper()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment and return its table."""
+    if config is None:
+        config = ExperimentConfig()
+    _, runner = get_experiment(experiment_id)
+    return runner(config)

@@ -1,0 +1,38 @@
+"""Histogram representations from Section 1.1 of the paper.
+
+Two classes of histograms are defined:
+
+* :class:`TilingHistogram` — disjoint intervals covering the whole domain
+  (the representation the paper's testers decide membership for);
+* :class:`PriorityHistogram` — possibly overlapping intervals where the
+  highest-priority interval wins (the representation the greedy learner
+  outputs).
+
+A priority k-histogram flattens to a tiling histogram with at most
+``2k + 1`` pieces (Section 1.1); :meth:`PriorityHistogram.to_tiling`
+realises that conversion.
+"""
+
+from repro.histograms.compact import compact
+from repro.histograms.fit import best_fit_values, refit
+from repro.histograms.intervals import Interval, overlap_length
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+from repro.histograms.validation import (
+    validate_boundaries,
+    validate_domain_size,
+    validate_values,
+)
+
+__all__ = [
+    "Interval",
+    "PriorityHistogram",
+    "TilingHistogram",
+    "best_fit_values",
+    "compact",
+    "overlap_length",
+    "refit",
+    "validate_boundaries",
+    "validate_domain_size",
+    "validate_values",
+]

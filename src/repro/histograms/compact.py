@@ -1,0 +1,72 @@
+"""Compacting histograms to an exact piece budget.
+
+The greedy learner outputs up to ``2 q + 1 = O(k log(1/eps))`` visible
+pieces (a priority k-histogram flattens to at most ``2k + 1`` tiles).
+When a caller needs *exactly* ``k`` pieces — e.g. a fixed-size catalog
+slot — the learned histogram can be re-partitioned optimally over its own
+segment boundaries: a dynamic program over ``M`` segments instead of
+``n`` points, so the cost is ``O(M^2 k)`` with ``M << n``.
+
+This is an extension beyond the paper (DESIGN.md, T7 discusses it); it
+uses the learned histogram itself as the proxy distribution, so no new
+samples are needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.tiling import TilingHistogram
+
+
+def compact(histogram: TilingHistogram, k: int) -> TilingHistogram:
+    """The best k-piece approximation of ``histogram`` (squared l2).
+
+    Merges adjacent pieces optimally: the output's boundaries are a
+    subset of the input's, values are mass-preserving piece means, and
+    the squared-l2 distance to the input is minimal among all such
+    coarsenings.  Returns the input unchanged when it already fits.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    segments = histogram.num_pieces
+    if segments <= k:
+        return histogram
+
+    bounds = histogram.boundaries
+    values = histogram.values
+    lengths = np.diff(bounds).astype(np.float64)
+    masses = values * lengths
+    mass_prefix = np.concatenate(([0.0], np.cumsum(masses)))
+    sq_prefix = np.concatenate(([0.0], np.cumsum(values * values * lengths)))
+    len_prefix = np.concatenate(([0.0], np.cumsum(lengths)))
+
+    def costs_into(t: int) -> np.ndarray:
+        """Merge cost of segments [s, t) into one piece, for all s < t."""
+        s = np.arange(t)
+        mass = mass_prefix[t] - mass_prefix[s]
+        length = len_prefix[t] - len_prefix[s]
+        return sq_prefix[t] - sq_prefix[s] - (mass * mass) / length
+
+    inf = np.inf
+    best = np.full(segments + 1, inf)
+    best[0] = 0.0
+    parents = np.zeros((k, segments + 1), dtype=np.int64)
+    for j in range(k):
+        nxt = np.full(segments + 1, inf)
+        for t in range(j + 1, segments - (k - j - 1) + 1):
+            candidates = best[:t] + costs_into(t)
+            s = int(np.argmin(candidates))
+            nxt[t] = candidates[s]
+            parents[j, t] = s
+        best = nxt
+
+    cut_indices = np.empty(k + 1, dtype=np.int64)
+    cut_indices[k] = segments
+    for j in range(k - 1, -1, -1):
+        cut_indices[j] = parents[j, cut_indices[j + 1]]
+    new_bounds = bounds[cut_indices]
+    new_lengths = np.diff(new_bounds).astype(np.float64)
+    new_masses = mass_prefix[cut_indices[1:]] - mass_prefix[cut_indices[:-1]]
+    return TilingHistogram(histogram.n, new_bounds, new_masses / new_lengths)

@@ -1,0 +1,61 @@
+"""Best-fit piece values for a fixed partition.
+
+For a fixed interval ``I`` the constant ``v`` minimising
+``sum_{i in I} (p_i - v)^2`` is the mean of ``p`` over ``I`` (the paper uses
+this as ``p(I)/|I|``, e.g. around Eq. 11), and the constant minimising
+``sum_{i in I} |p_i - v|`` is the median.  These projections turn a
+partition into the optimal histogram for that partition, and are the
+building block of the v-optimal dynamic program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.tiling import TilingHistogram
+
+_NORMS = ("l1", "l2")
+
+
+def best_fit_values(
+    pmf: np.ndarray, boundaries: np.ndarray, norm: str = "l2"
+) -> np.ndarray:
+    """Optimal per-piece values of ``pmf`` for the given partition.
+
+    Parameters
+    ----------
+    pmf:
+        Dense probability vector of length ``n``.
+    boundaries:
+        Partition boundaries ``0 = b_0 < ... < b_k = n``.
+    norm:
+        ``"l2"`` (piece mean) or ``"l1"`` (piece median).
+    """
+    if norm not in _NORMS:
+        raise InvalidParameterError(f"norm must be one of {_NORMS}, got {norm!r}")
+    pmf = np.asarray(pmf, dtype=np.float64)
+    bounds = np.asarray(boundaries, dtype=np.int64)
+    values = np.empty(bounds.shape[0] - 1, dtype=np.float64)
+    if norm == "l2":
+        prefix = np.concatenate(([0.0], np.cumsum(pmf)))
+        masses = prefix[bounds[1:]] - prefix[bounds[:-1]]
+        lengths = np.diff(bounds)
+        values[:] = masses / lengths
+    else:
+        for j in range(values.shape[0]):
+            values[j] = np.median(pmf[bounds[j] : bounds[j + 1]])
+    return values
+
+
+def refit(
+    histogram: TilingHistogram, pmf: np.ndarray, norm: str = "l2"
+) -> TilingHistogram:
+    """Replace a histogram's values by the best fit to ``pmf``.
+
+    Keeps the partition, recomputes values by :func:`best_fit_values`.
+    Useful for measuring how much of a learner's error comes from boundary
+    placement versus value estimation.
+    """
+    values = best_fit_values(pmf, histogram.boundaries, norm=norm)
+    return TilingHistogram(histogram.n, histogram.boundaries, values)

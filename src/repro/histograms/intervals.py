@@ -1,0 +1,94 @@
+"""Half-open integer intervals over the domain ``[0, n)``.
+
+The paper works with 1-based closed intervals ``[a, b] subseteq [n]``; the
+library uses 0-based half-open intervals ``[start, stop)`` (Python slice
+convention).  The translation is ``[a, b] -> Interval(a - 1, b)``, available
+as :meth:`Interval.from_closed` for code that follows the paper line by
+line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidIntervalError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A non-empty half-open interval ``[start, stop)`` of integers.
+
+    Instances are immutable, hashable and ordered lexicographically by
+    ``(start, stop)``, so they can be used as dictionary keys and sorted
+    into tilings.
+    """
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise InvalidIntervalError(f"start must be >= 0, got {self.start}")
+        if self.stop <= self.start:
+            raise InvalidIntervalError(
+                f"interval [{self.start}, {self.stop}) is empty or reversed"
+            )
+
+    @classmethod
+    def from_closed(cls, low: int, high: int) -> "Interval":
+        """Build from a 0-based *closed* interval ``[low, high]``."""
+        return cls(low, high + 1)
+
+    @property
+    def length(self) -> int:
+        """Number of domain points covered (``|I|`` in the paper)."""
+        return self.stop - self.start
+
+    def contains(self, point: int) -> bool:
+        """Whether ``point`` lies in ``[start, stop)``."""
+        return self.start <= point < self.stop
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether ``other`` is entirely inside this interval."""
+        return self.start <= other.start and other.stop <= self.stop
+
+    def intersects(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one point."""
+        return self.start < other.stop and other.start < self.stop
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping interval, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if stop <= start:
+            return None
+        return Interval(start, stop)
+
+    def difference(self, other: "Interval") -> "list[Interval]":
+        """The (0, 1 or 2) maximal sub-intervals of ``self`` outside ``other``."""
+        pieces: list[Interval] = []
+        if other.start > self.start:
+            pieces.append(Interval(self.start, min(other.start, self.stop)))
+        if other.stop < self.stop:
+            pieces.append(Interval(max(other.stop, self.start), self.stop))
+        # When ``other`` is disjoint from ``self`` the two clauses above can
+        # both produce ``self``; deduplicate that degenerate case.
+        if len(pieces) == 2 and pieces[0] == pieces[1]:
+            return [pieces[0]]
+        return pieces
+
+    def is_adjacent_to(self, other: "Interval") -> bool:
+        """Whether the intervals touch end-to-end without overlapping."""
+        return self.stop == other.start or other.stop == self.start
+
+    def as_slice(self) -> slice:
+        """The equivalent :class:`slice` for indexing numpy arrays."""
+        return slice(self.start, self.stop)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interval({self.start}, {self.stop})"
+
+
+def overlap_length(a: Interval, b: Interval) -> int:
+    """Number of points shared by ``a`` and ``b`` (0 when disjoint)."""
+    return max(0, min(a.stop, b.stop) - max(a.start, b.start))

@@ -1,0 +1,178 @@
+"""Priority histograms: overlapping intervals, highest priority wins.
+
+A priority k-histogram (paper Section 1.1, class 2) is a list
+``(I_1, v_1, r_1) ... (I_k, v_k, r_k)``; ``H(t)`` is the value of the
+interval with the largest priority containing ``t``, or 0 when no interval
+covers ``t``.  This is the output representation of the greedy learner
+(paper Algorithm 1): each greedy round pushes intervals with a fresh,
+strictly larger priority.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidHistogramError
+from repro.histograms.intervals import Interval
+from repro.histograms.tiling import TilingHistogram
+from repro.histograms.validation import validate_domain_size
+
+
+@dataclass(frozen=True)
+class PriorityPiece:
+    """One entry ``(interval, value, priority)`` of a priority histogram."""
+
+    interval: Interval
+    value: float
+    priority: int
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.value) or self.value < 0:
+            raise InvalidHistogramError(
+                f"piece value must be finite and non-negative, got {self.value}"
+            )
+
+
+class PriorityHistogram:
+    """A mutable priority histogram over ``[0, n)``.
+
+    Use :meth:`add` to push pieces (priorities are assigned automatically,
+    ``r_max + 1`` as in Algorithm 1) and :meth:`to_tiling` to flatten into
+    the equivalent tiling histogram.  The flattened form of a priority
+    k-histogram has at most ``2k + 1`` pieces (Section 1.1; the ``+ 1``
+    accounts for the implicit zero-valued background).
+    """
+
+    def __init__(self, n: int) -> None:
+        self._n = validate_domain_size(n)
+        self._pieces: list[PriorityPiece] = []
+
+    @property
+    def n(self) -> int:
+        """Domain size."""
+        return self._n
+
+    @property
+    def num_pieces(self) -> int:
+        """Number of stored (interval, value, priority) entries."""
+        return len(self._pieces)
+
+    def pieces(self) -> Iterator[PriorityPiece]:
+        """Iterate over the stored pieces in insertion order."""
+        return iter(self._pieces)
+
+    @property
+    def max_priority(self) -> int:
+        """The largest priority currently stored (0 when empty)."""
+        if not self._pieces:
+            return 0
+        return max(piece.priority for piece in self._pieces)
+
+    def add(
+        self, interval: Interval, value: float, priority: int | None = None
+    ) -> PriorityPiece:
+        """Push a piece; defaults to priority ``r_max + 1`` (Algorithm 1).
+
+        Returns the stored :class:`PriorityPiece`.
+        """
+        if interval.stop > self._n:
+            raise InvalidHistogramError(
+                f"interval {interval} exceeds the domain [0, {self._n})"
+            )
+        if priority is None:
+            priority = self.max_priority + 1
+        piece = PriorityPiece(interval, float(value), int(priority))
+        self._pieces.append(piece)
+        return piece
+
+    def add_many(
+        self, pieces: Sequence[tuple[Interval, float]], priority: int | None = None
+    ) -> None:
+        """Push several pieces sharing one priority level.
+
+        Algorithm 1 adds ``(J, y_J)`` together with its recomputed
+        neighbours ``(I_L, y_IL)`` and ``(I_R, y_IR)`` at the *same*
+        priority; this helper mirrors that step.
+        """
+        if priority is None:
+            priority = self.max_priority + 1
+        for interval, value in pieces:
+            self.add(interval, value, priority)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def value_at(self, points: int | np.ndarray) -> float | np.ndarray:
+        """Evaluate ``H`` at one point or an array of points.
+
+        The value is taken from the highest-priority covering interval
+        (ties broken towards the most recently inserted piece, matching the
+        paper's "largest index" rule); uncovered points evaluate to 0.
+        """
+        pts = np.atleast_1d(np.asarray(points))
+        if np.any((pts < 0) | (pts >= self._n)):
+            raise InvalidHistogramError(
+                f"evaluation points must lie in [0, {self._n})"
+            )
+        result = np.zeros(pts.shape, dtype=np.float64)
+        best = np.full(pts.shape, -1, dtype=np.int64)
+        for index, piece in enumerate(self._pieces):
+            covered = (pts >= piece.interval.start) & (pts < piece.interval.stop)
+            # Insertion order breaks priority ties ("largest index" rule),
+            # so compare (priority, index) lexicographically.
+            rank = piece.priority * (len(self._pieces) + 1) + index
+            take = covered & (rank > best)
+            result[take] = piece.value
+            best[take] = rank
+        if np.isscalar(points) or getattr(points, "ndim", 1) == 0:
+            return float(result[0])
+        return result
+
+    def to_pmf(self) -> np.ndarray:
+        """Expand to a dense length-``n`` vector of per-element values."""
+        return self.to_tiling().to_pmf()
+
+    # ------------------------------------------------------------------ #
+    # conversion
+    # ------------------------------------------------------------------ #
+
+    def to_tiling(self) -> TilingHistogram:
+        """Flatten to the equivalent tiling histogram.
+
+        Pieces are replayed in increasing ``(priority, insertion index)``
+        order onto a boundary set; the visible value of each resulting
+        segment is the last piece painted over it.  Uncovered segments get
+        value 0.  The output is canonicalised (adjacent equal values are
+        merged), which realises the "tiling 2k-histogram" bound of
+        Section 1.1.
+        """
+        cuts = {0, self._n}
+        for piece in self._pieces:
+            cuts.add(piece.interval.start)
+            cuts.add(piece.interval.stop)
+        boundaries = np.array(sorted(cuts), dtype=np.int64)
+        seg_values = np.zeros(boundaries.shape[0] - 1, dtype=np.float64)
+        order = sorted(
+            range(len(self._pieces)),
+            key=lambda i: (self._pieces[i].priority, i),
+        )
+        for index in order:
+            piece = self._pieces[index]
+            lo = np.searchsorted(boundaries, piece.interval.start)
+            hi = np.searchsorted(boundaries, piece.interval.stop)
+            seg_values[lo:hi] = piece.value
+        return TilingHistogram(self._n, boundaries, seg_values).canonical()
+
+    @classmethod
+    def from_tiling(cls, tiling: TilingHistogram) -> "PriorityHistogram":
+        """Wrap a tiling histogram as a priority histogram (priority 1)."""
+        hist = cls(tiling.n)
+        hist.add_many(list(tiling.pieces()), priority=1)
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PriorityHistogram(n={self._n}, pieces={self.num_pieces})"

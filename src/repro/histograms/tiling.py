@@ -1,0 +1,237 @@
+"""Tiling histograms: disjoint intervals covering the whole domain.
+
+A tiling k-histogram (paper Section 1.1, class 1) is a piecewise-constant
+function ``H : [0, n) -> [0, 1]`` represented by boundaries
+``0 = b_0 < b_1 < ... < b_k = n`` and one value per piece; ``H(t)`` is the
+value of the piece whose half-open interval contains ``t``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidHistogramError
+from repro.histograms.intervals import Interval
+from repro.histograms.validation import (
+    validate_boundaries,
+    validate_domain_size,
+    validate_values,
+)
+
+
+class TilingHistogram:
+    """A piecewise-constant function over ``[0, n)`` with ``k`` pieces.
+
+    Values are per-element densities: a piece with value ``v`` on interval
+    ``I`` assigns probability mass ``v * |I|`` to ``I``.
+
+    Parameters
+    ----------
+    n:
+        Domain size.
+    boundaries:
+        ``k + 1`` strictly increasing integers starting at 0, ending at n.
+    values:
+        ``k`` non-negative finite floats, one per piece.
+    """
+
+    __slots__ = ("_n", "_boundaries", "_values")
+
+    def __init__(
+        self,
+        n: int,
+        boundaries: Sequence[int] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+    ) -> None:
+        self._n = validate_domain_size(n)
+        self._boundaries = validate_boundaries(np.asarray(boundaries), self._n)
+        self._values = validate_values(
+            np.asarray(values), self._boundaries.shape[0] - 1
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def uniform(cls, n: int) -> "TilingHistogram":
+        """The 1-histogram of the uniform distribution over ``[0, n)``."""
+        return cls(n, [0, n], [1.0 / n])
+
+    @classmethod
+    def from_pieces(
+        cls, n: int, pieces: Sequence[tuple[Interval, float]]
+    ) -> "TilingHistogram":
+        """Build from ``(interval, value)`` pairs that must tile ``[0, n)``.
+
+        Raises :class:`InvalidHistogramError` if the intervals overlap or
+        leave part of the domain uncovered.
+        """
+        if not pieces:
+            raise InvalidHistogramError("a tiling histogram needs at least one piece")
+        ordered = sorted(pieces, key=lambda piece: piece[0].start)
+        boundaries = [0]
+        values = []
+        cursor = 0
+        for interval, value in ordered:
+            if interval.start != cursor:
+                raise InvalidHistogramError(
+                    f"tiling gap or overlap at position {cursor}: next interval "
+                    f"starts at {interval.start}"
+                )
+            boundaries.append(interval.stop)
+            values.append(value)
+            cursor = interval.stop
+        if cursor != n:
+            raise InvalidHistogramError(
+                f"tiling covers [0, {cursor}) but the domain is [0, {n})"
+            )
+        return cls(n, boundaries, values)
+
+    @classmethod
+    def from_pmf(cls, pmf: np.ndarray) -> "TilingHistogram":
+        """Exact (up to ``n``-piece) representation of a probability vector.
+
+        Adjacent equal entries are merged, so the result has one piece per
+        maximal run of equal values.
+        """
+        pmf = np.asarray(pmf, dtype=np.float64)
+        n = pmf.shape[0]
+        change = np.flatnonzero(np.diff(pmf)) + 1
+        boundaries = np.concatenate(([0], change, [n]))
+        values = pmf[boundaries[:-1]]
+        return cls(n, boundaries, values)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Domain size."""
+        return self._n
+
+    @property
+    def num_pieces(self) -> int:
+        """Number of constant pieces ``k``."""
+        return self._values.shape[0]
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """The ``k + 1`` piece boundaries (read-only view)."""
+        view = self._boundaries.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def values(self) -> np.ndarray:
+        """The ``k`` per-element piece values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def intervals(self) -> Iterator[Interval]:
+        """Iterate over the pieces as :class:`Interval` objects."""
+        for start, stop in zip(self._boundaries[:-1], self._boundaries[1:]):
+            yield Interval(int(start), int(stop))
+
+    def pieces(self) -> Iterator[tuple[Interval, float]]:
+        """Iterate over ``(interval, value)`` pairs."""
+        for interval, value in zip(self.intervals(), self._values):
+            yield interval, float(value)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def value_at(self, points: int | np.ndarray) -> float | np.ndarray:
+        """Evaluate ``H`` at one point or an array of points."""
+        pts = np.asarray(points)
+        if np.any((pts < 0) | (pts >= self._n)):
+            raise InvalidHistogramError(
+                f"evaluation points must lie in [0, {self._n})"
+            )
+        idx = np.searchsorted(self._boundaries, pts, side="right") - 1
+        result = self._values[idx]
+        if np.isscalar(points) or getattr(points, "ndim", 1) == 0:
+            return float(result)
+        return result
+
+    def to_pmf(self) -> np.ndarray:
+        """Expand to a dense length-``n`` vector of per-element values."""
+        return np.repeat(self._values, np.diff(self._boundaries))
+
+    def total_mass(self) -> float:
+        """Total mass ``sum_t H(t)`` (1.0 for a distribution)."""
+        lengths = np.diff(self._boundaries)
+        return float(np.dot(self._values, lengths))
+
+    def is_distribution(self, atol: float = 1e-9) -> bool:
+        """Whether the histogram is a probability distribution."""
+        return abs(self.total_mass() - 1.0) <= atol
+
+    def normalized(self) -> "TilingHistogram":
+        """Rescale values so the total mass is exactly 1.
+
+        Raises :class:`InvalidHistogramError` when the histogram has zero
+        mass (there is nothing to normalise).
+        """
+        mass = self.total_mass()
+        if mass <= 0:
+            raise InvalidHistogramError("cannot normalise a zero-mass histogram")
+        return TilingHistogram(self._n, self._boundaries, self._values / mass)
+
+    def range_mass(self, interval: Interval) -> float:
+        """Mass assigned to ``interval`` (the selectivity-estimation kernel).
+
+        Computed piece-by-piece as ``sum(value * overlap_length)`` without
+        materialising the dense pmf.
+        """
+        if interval.stop > self._n:
+            raise InvalidHistogramError(
+                f"query interval {interval} exceeds the domain [0, {self._n})"
+            )
+        bounds = self._boundaries
+        lo = np.searchsorted(bounds, interval.start, side="right") - 1
+        hi = np.searchsorted(bounds, interval.stop, side="left")
+        starts = np.maximum(bounds[lo:hi], interval.start)
+        stops = np.minimum(bounds[lo + 1 : hi + 1], interval.stop)
+        overlap = np.maximum(stops - starts, 0)
+        return float(np.dot(self._values[lo:hi], overlap))
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    def canonical(self) -> "TilingHistogram":
+        """Merge adjacent pieces with equal values (minimal representation)."""
+        keep = np.flatnonzero(np.diff(self._values)) + 1
+        boundaries = np.concatenate(
+            ([0], self._boundaries[keep], [self._n])
+        )
+        values = self._values[np.concatenate(([0], keep))]
+        return TilingHistogram(self._n, boundaries, values)
+
+    def restrict_values(self) -> np.ndarray:
+        """Alias for :meth:`values` kept for symmetry with the paper text."""
+        return self.values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TilingHistogram):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._boundaries, other._boundaries)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._boundaries.tobytes(), self._values.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TilingHistogram(n={self._n}, pieces={self.num_pieces}, "
+            f"mass={self.total_mass():.4f})"
+        )

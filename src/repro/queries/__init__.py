@@ -1,0 +1,31 @@
+"""Approximate query answering on histograms.
+
+The paper's database motivation: histograms "can be used for data
+visualization, analysis and approximate query answering".  This package
+implements the classical use — range-count (selectivity) estimation —
+so the learned histograms can be evaluated on the workload they exist
+for (experiment T6).
+"""
+
+from repro.queries.evaluate import WorkloadReport, evaluate_estimator
+from repro.queries.selectivity import (
+    SelectivityEstimator,
+    true_selectivity,
+)
+from repro.queries.workload import (
+    mixed_workload,
+    point_queries,
+    random_ranges,
+    short_ranges,
+)
+
+__all__ = [
+    "SelectivityEstimator",
+    "WorkloadReport",
+    "evaluate_estimator",
+    "mixed_workload",
+    "point_queries",
+    "random_ranges",
+    "short_ranges",
+    "true_selectivity",
+]

@@ -1,0 +1,58 @@
+"""Workload-level error metrics for selectivity estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.intervals import Interval
+from repro.queries.selectivity import SelectivityEstimator, true_selectivity
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Error summary of one estimator over one workload.
+
+    ``mean_absolute`` / ``max_absolute`` are in selectivity units (i.e.
+    fractions of the table); ``rmse`` likewise.  ``summary_size`` is the
+    number of histogram pieces the estimator stores.
+    """
+
+    mean_absolute: float
+    max_absolute: float
+    rmse: float
+    num_queries: int
+    summary_size: int
+
+
+def evaluate_estimator(
+    estimator: SelectivityEstimator,
+    truth: object,
+    workload: "list[Interval]",
+) -> WorkloadReport:
+    """Compare an estimator against exact selectivities.
+
+    Parameters
+    ----------
+    estimator:
+        The histogram-backed estimator under evaluation.
+    truth:
+        The true distribution (anything :func:`repro.distributions.as_pmf`
+        accepts).
+    workload:
+        The queries to score.
+    """
+    if not workload:
+        raise InvalidParameterError("workload must contain at least one query")
+    estimates = estimator.estimate_many(workload)
+    exact = np.array([true_selectivity(truth, q) for q in workload])
+    errors = np.abs(estimates - exact)
+    return WorkloadReport(
+        mean_absolute=float(errors.mean()),
+        max_absolute=float(errors.max()),
+        rmse=float(np.sqrt((errors**2).mean())),
+        num_queries=len(workload),
+        summary_size=estimator.summary_size,
+    )

@@ -1,0 +1,57 @@
+"""Selectivity (range-count) estimation on histograms.
+
+A range query ``SELECT COUNT(*) WHERE a <= x < b`` over a column with
+value distribution ``p`` has selectivity ``p([a, b))``; a histogram ``H``
+estimates it as ``sum_{t in [a, b)} H(t)``.  For tiling histograms this
+is a piece-overlap sum (no dense expansion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.distances import as_pmf
+from repro.histograms.intervals import Interval
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+
+
+def true_selectivity(p: object, query: Interval) -> float:
+    """Exact selectivity of ``query`` under distribution-like ``p``."""
+    pmf = as_pmf(p)
+    return float(pmf[query.start : query.stop].sum())
+
+
+class SelectivityEstimator:
+    """Answers range queries from a histogram summary.
+
+    Wraps either histogram representation; priority histograms are
+    flattened once at construction.
+    """
+
+    def __init__(self, histogram: TilingHistogram | PriorityHistogram) -> None:
+        if isinstance(histogram, PriorityHistogram):
+            histogram = histogram.to_tiling()
+        if not isinstance(histogram, TilingHistogram):
+            raise TypeError(
+                f"expected a histogram, got {type(histogram).__name__}"
+            )
+        self._histogram = histogram
+
+    @property
+    def histogram(self) -> TilingHistogram:
+        """The underlying tiling histogram."""
+        return self._histogram
+
+    @property
+    def summary_size(self) -> int:
+        """Number of stored pieces (the summary's space footprint)."""
+        return self._histogram.num_pieces
+
+    def estimate(self, query: Interval) -> float:
+        """Estimated selectivity of one range query."""
+        return self._histogram.range_mass(query)
+
+    def estimate_many(self, queries: "list[Interval]") -> np.ndarray:
+        """Estimated selectivities for a workload (vector result)."""
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)

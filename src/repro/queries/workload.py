@@ -1,0 +1,80 @@
+"""Range-query workload generators.
+
+Three classical shapes plus a mixture:
+
+* :func:`random_ranges` — endpoints uniform over the domain (long scans);
+* :func:`short_ranges` — fixed-width windows at random offsets (the
+  common "band" predicate);
+* :func:`point_queries` — single-value lookups;
+* :func:`mixed_workload` — an even blend of the three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.histograms.intervals import Interval
+from repro.utils.rng import as_rng
+
+
+def _check(n: int, count: int) -> None:
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if count < 0:
+        raise InvalidParameterError(f"count must be >= 0, got {count}")
+
+
+def random_ranges(
+    n: int, count: int, rng: "int | None | np.random.Generator" = None
+) -> list[Interval]:
+    """``count`` ranges with uniformly random distinct endpoints."""
+    _check(n, count)
+    generator = as_rng(rng)
+    starts = generator.integers(0, n, size=count)
+    stops = generator.integers(0, n, size=count)
+    queries = []
+    for a, b in zip(starts, stops):
+        lo, hi = (int(a), int(b)) if a < b else (int(b), int(a))
+        queries.append(Interval(lo, hi + 1))
+    return queries
+
+
+def short_ranges(
+    n: int,
+    count: int,
+    width: int | None = None,
+    rng: "int | None | np.random.Generator" = None,
+) -> list[Interval]:
+    """``count`` windows of fixed ``width`` (default ``max(n // 32, 1)``)."""
+    _check(n, count)
+    if width is None:
+        width = max(n // 32, 1)
+    if not 1 <= width <= n:
+        raise InvalidParameterError(f"width must be in [1, n], got {width}")
+    generator = as_rng(rng)
+    starts = generator.integers(0, n - width + 1, size=count)
+    return [Interval(int(a), int(a) + width) for a in starts]
+
+
+def point_queries(
+    n: int, count: int, rng: "int | None | np.random.Generator" = None
+) -> list[Interval]:
+    """``count`` single-element lookups at uniform positions."""
+    _check(n, count)
+    generator = as_rng(rng)
+    positions = generator.integers(0, n, size=count)
+    return [Interval(int(a), int(a) + 1) for a in positions]
+
+
+def mixed_workload(
+    n: int, count: int, rng: "int | None | np.random.Generator" = None
+) -> list[Interval]:
+    """An even mix of random ranges, short ranges and point lookups."""
+    _check(n, count)
+    generator = as_rng(rng)
+    per_kind = count // 3
+    queries = random_ranges(n, per_kind, generator)
+    queries += short_ranges(n, per_kind, rng=generator)
+    queries += point_queries(n, count - 2 * per_kind, generator)
+    return queries

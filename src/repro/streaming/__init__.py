@@ -1,0 +1,18 @@
+"""Streaming histogram maintenance ([TGIK02] lineage).
+
+The paper's greedy algorithm "is inspired by [the] streaming algorithm
+in [TGIK02]" (dynamic multidimensional histograms).  This package closes
+the loop: :class:`StreamingHistogramMaintainer` keeps a near-v-optimal
+k-histogram over a stream of values by combining
+
+* an exact uniform reservoir (Vitter's Algorithm R) over the stream, and
+* periodic rebuilds with the paper's fast greedy learner driven by the
+  reservoir.
+
+Substrate/extension status is documented in DESIGN.md.
+"""
+
+from repro.streaming.maintainer import StreamingHistogramMaintainer
+from repro.streaming.reservoir import ReservoirSampler
+
+__all__ = ["ReservoirSampler", "StreamingHistogramMaintainer"]

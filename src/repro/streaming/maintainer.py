@@ -1,0 +1,145 @@
+"""Maintain a near-v-optimal histogram over a stream.
+
+Combines the reservoir sampler with periodic rebuilds by the paper's
+fast greedy learner.  Between rebuilds the summary is stale by at most
+``refresh_every`` items, which bounds its extra error by the mass of the
+unseen suffix; the reservoir keeps rebuild quality independent of the
+stream length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.greedy import learn_histogram
+from repro.core.params import GreedyParams
+from repro.errors import InvalidParameterError
+from repro.histograms.tiling import TilingHistogram
+from repro.streaming.reservoir import ReservoirSampler
+from repro.utils.rng import as_rng
+
+
+class StreamingHistogramMaintainer:
+    """A k-histogram summary of a stream of values from ``[0, n)``.
+
+    Parameters
+    ----------
+    n:
+        Domain size.
+    k:
+        Histogram budget passed to the greedy learner.
+    epsilon:
+        Learner accuracy (Theorem 2 semantics at ``scale=1``).
+    refresh_every:
+        Rebuild the histogram after this many new items (default
+        ``4 * reservoir_capacity``, so most reservoir content turns over
+        between rebuilds).
+    reservoir_capacity:
+        Reservoir size (default 4096).
+    params:
+        Explicit learner sizes; defaults to a budget matched to the
+        reservoir (the reservoir cannot support more independent
+        information than it holds).
+    forget_after_rebuild:
+        When ``True`` the reservoir is reset after each rebuild, giving
+        sliding-window semantics (the summary reflects roughly the last
+        ``refresh_every`` items) — use this for drifting streams.  The
+        default ``False`` keeps Algorithm R's whole-stream uniformity.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        epsilon: float = 0.25,
+        *,
+        refresh_every: int | None = None,
+        reservoir_capacity: int = 4096,
+        params: GreedyParams | None = None,
+        forget_after_rebuild: bool = False,
+        rng: "int | None | np.random.Generator" = None,
+    ) -> None:
+        if n < 1 or k < 1:
+            raise InvalidParameterError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+        self._n = int(n)
+        self._k = int(k)
+        self._epsilon = float(epsilon)
+        self._rng = as_rng(rng)
+        self._reservoir = ReservoirSampler(reservoir_capacity, self._rng)
+        self._refresh_every = (
+            int(refresh_every) if refresh_every is not None else 4 * reservoir_capacity
+        )
+        if self._refresh_every < 1:
+            raise InvalidParameterError("refresh_every must be >= 1")
+        if params is None:
+            budget = reservoir_capacity
+            params = GreedyParams(
+                weight_sample_size=max(budget // 2, 16),
+                collision_sets=5,
+                collision_set_size=max(budget // 4, 16),
+                rounds=max(self._k, 2),
+            )
+        self._params = params
+        self._forget_after_rebuild = bool(forget_after_rebuild)
+        self._items_seen = 0
+        self._since_rebuild = 0
+        self._rebuilds = 0
+        self._histogram: TilingHistogram | None = None
+
+    @property
+    def items_seen(self) -> int:
+        """Total stream items observed."""
+        return self._items_seen
+
+    @property
+    def rebuilds(self) -> int:
+        """How many greedy rebuilds have run."""
+        return self._rebuilds
+
+    @property
+    def histogram(self) -> TilingHistogram:
+        """The current summary (rebuilding lazily if needed)."""
+        if self._histogram is None or self._since_rebuild >= self._refresh_every:
+            self._rebuild()
+        if self._histogram is None:
+            raise InvalidParameterError(
+                "no stream items observed yet; update() first"
+            )
+        return self._histogram
+
+    def update(self, value: int) -> None:
+        """Observe one stream item."""
+        if not 0 <= value < self._n:
+            raise InvalidParameterError(
+                f"stream value {value} outside the domain [0, {self._n})"
+            )
+        self._reservoir.update(int(value))
+        self._items_seen += 1
+        self._since_rebuild += 1
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Observe a batch of stream items."""
+        values = np.asarray(values)
+        if values.size and (values.min() < 0 or values.max() >= self._n):
+            raise InvalidParameterError("stream values outside the domain")
+        self._reservoir.update_many(values)
+        self._items_seen += int(values.size)
+        self._since_rebuild += int(values.size)
+
+    def _rebuild(self) -> None:
+        if self._reservoir.size == 0:
+            return
+        result = learn_histogram(
+            self._reservoir,
+            self._n,
+            self._k,
+            self._epsilon,
+            method="fast",
+            params=self._params,
+            rng=self._rng,
+        )
+        self._histogram = result.filled_histogram
+        self._since_rebuild = 0
+        self._rebuilds += 1
+        if self._forget_after_rebuild:
+            self._reservoir = ReservoirSampler(self._reservoir.capacity, self._rng)

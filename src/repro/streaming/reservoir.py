@@ -1,0 +1,83 @@
+"""Uniform reservoir sampling (Vitter's Algorithm R).
+
+Maintains a uniform-without-replacement sample of a stream in O(1) per
+item; the streaming histogram maintainer uses it as the sample source
+for periodic greedy rebuilds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.rng import as_rng
+
+
+class ReservoirSampler:
+    """A fixed-capacity uniform sample over everything seen so far.
+
+    After ``t`` updates, each of the ``t`` stream items is present in the
+    reservoir with probability ``capacity / t`` (exactly, by induction) —
+    the classical Algorithm R invariant.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        rng: "int | None | np.random.Generator" = None,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._rng = as_rng(rng)
+        self._items = np.empty(capacity, dtype=np.int64)
+        self._seen = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained items."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Total stream items observed."""
+        return self._seen
+
+    @property
+    def size(self) -> int:
+        """Items currently held (``min(seen, capacity)``)."""
+        return min(self._seen, self._capacity)
+
+    def update(self, value: int) -> None:
+        """Observe one stream item."""
+        if self._seen < self._capacity:
+            self._items[self._seen] = value
+        else:
+            slot = int(self._rng.integers(0, self._seen + 1))
+            if slot < self._capacity:
+                self._items[slot] = value
+        self._seen += 1
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Observe a batch (loop of :meth:`update`; order preserved)."""
+        for value in np.asarray(values).ravel():
+            self.update(int(value))
+
+    def contents(self) -> np.ndarray:
+        """A copy of the current reservoir contents."""
+        return self._items[: self.size].copy()
+
+    def sample(
+        self, size: int, rng: "int | None | np.random.Generator" = None
+    ) -> np.ndarray:
+        """Draw ``size`` items i.i.d. (with replacement) from the reservoir.
+
+        This is the bootstrap view the greedy learner consumes: the
+        reservoir approximates the stream's empirical distribution, and
+        with-replacement draws from it approximate fresh stream samples.
+        """
+        if self.size == 0:
+            raise InvalidParameterError("cannot sample from an empty reservoir")
+        generator = as_rng(rng if rng is not None else self._rng)
+        idx = generator.integers(0, self.size, size=size)
+        return self._items[idx]

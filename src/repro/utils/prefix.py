@@ -1,0 +1,47 @@
+"""Prefix-sum helpers used throughout the sampling machinery.
+
+The library answers interval queries (weights, collision counts, squared
+sums) in constant time after a single linear pass; these helpers keep that
+pattern in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def prefix_sums(values: np.ndarray) -> np.ndarray:
+    """Return the exclusive-prefix-sum array of ``values``.
+
+    The result ``P`` has ``len(values) + 1`` entries with ``P[0] == 0`` and
+    ``P[j] == values[:j].sum()``, so the sum over the half-open index range
+    ``[a, b)`` is ``P[b] - P[a]``.
+    """
+    values = np.asarray(values)
+    out = np.empty(values.shape[0] + 1, dtype=np.result_type(values, np.int64))
+    out[0] = 0
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+def interval_sums(prefix: np.ndarray, starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Vectorised sums over half-open ranges ``[starts[i], stops[i])``.
+
+    ``prefix`` must come from :func:`prefix_sums`.  ``starts``/``stops`` are
+    broadcast against each other.
+    """
+    prefix = np.asarray(prefix)
+    return prefix[np.asarray(stops)] - prefix[np.asarray(starts)]
+
+
+def pairs_count(counts: np.ndarray | int) -> np.ndarray | int:
+    """``C(x, 2) = x * (x - 1) / 2`` element-wise, in exact integer math.
+
+    This is the number of unordered sample pairs among ``x`` samples, the
+    denominator / numerator unit of every collision statistic in the paper.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    result = counts * (counts - 1) // 2
+    if result.ndim == 0:
+        return int(result)
+    return result

@@ -1,0 +1,39 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library accepts either a seed, ``None``, or a
+ready-made :class:`numpy.random.Generator`.  :func:`as_rng` normalises the
+three forms, and :func:`spawn_rngs` derives independent child generators so
+that parallel estimators never share a stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | None | np.random.Generator"
+
+
+def as_rng(seed_or_rng: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed_or_rng``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` (fresh OS-seeded generator).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(
+    seed_or_rng: int | None | np.random.Generator, count: int
+) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Children are produced through :class:`numpy.random.SeedSequence`
+    spawning, so two children never overlap even when the parent is reused
+    afterwards.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = as_rng(seed_or_rng)
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,47 @@
+"""Markdown table rendering for the experiment harness.
+
+Experiments print GitHub-flavoured markdown tables so their output can be
+pasted directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".4g",
+) -> str:
+    """Render ``rows`` as a GitHub-flavoured markdown table.
+
+    Floats are formatted with ``float_format``; booleans render as
+    ``yes``/``no``.  Column widths are padded for terminal readability.
+    """
+    text_rows = [[_format_cell(v, float_format) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[j]) for j, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    lines = [fmt_row(list(headers))]
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Tests for equi-depth, equi-width and compressed baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.compressed import compressed_from_samples
+from repro.baselines.equidepth import equidepth_from_pmf, equidepth_from_samples
+from repro.baselines.equiwidth import equiwidth_from_pmf, equiwidth_from_samples
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def skewed_samples(rng):
+    pmf = np.ones(64)
+    pmf[0] = 200.0  # heavy singleton
+    pmf = pmf / pmf.sum()
+    return rng.choice(64, size=5000, p=pmf), pmf
+
+
+class TestEquidepth:
+    def test_pmf_buckets_have_equal_mass(self):
+        pmf = np.ones(100) / 100
+        hist = equidepth_from_pmf(pmf, 4)
+        masses = [
+            hist.to_pmf()[a:b].sum()
+            for a, b in zip(hist.boundaries[:-1], hist.boundaries[1:])
+        ]
+        assert np.allclose(masses, 0.25)
+
+    def test_sample_version_is_distribution(self, skewed_samples):
+        samples, _ = skewed_samples
+        hist = equidepth_from_samples(samples, 64, 8)
+        assert hist.is_distribution()
+
+    def test_bucket_count_at_most_k(self, skewed_samples):
+        samples, _ = skewed_samples
+        assert equidepth_from_samples(samples, 64, 8).num_pieces <= 8
+
+    def test_heavy_element_merges_cuts(self):
+        """A single heavy element absorbs several quantile targets."""
+        pmf = np.full(10, 0.02)
+        pmf[5] = 0.82
+        hist = equidepth_from_pmf(pmf, 5)
+        assert hist.num_pieces < 5
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(InvalidParameterError):
+            equidepth_from_pmf(np.ones(4) / 4, 0)
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(InvalidParameterError):
+            equidepth_from_samples(np.array([], dtype=np.int64), 4, 2)
+
+
+class TestEquiwidth:
+    def test_boundaries_evenly_spaced(self):
+        hist = equiwidth_from_pmf(np.ones(100) / 100, 4)
+        assert list(hist.boundaries) == [0, 25, 50, 75, 100]
+
+    def test_k_larger_than_n_clamped(self):
+        hist = equiwidth_from_pmf(np.ones(3) / 3, 10)
+        assert hist.num_pieces == 3
+
+    def test_mass_preserved(self, skewed_samples):
+        samples, _ = skewed_samples
+        assert equiwidth_from_samples(samples, 64, 7).is_distribution()
+
+    def test_uniform_is_exact(self):
+        pmf = np.ones(12) / 12
+        hist = equiwidth_from_pmf(pmf, 3)
+        assert np.allclose(hist.to_pmf(), pmf)
+
+
+class TestCompressed:
+    def test_heavy_singleton_isolated(self, skewed_samples):
+        samples, _ = skewed_samples
+        hist = compressed_from_samples(samples, 64, 8)
+        assert 1 in list(np.diff(hist.boundaries))  # a width-1 bucket exists
+
+    def test_heavy_value_estimated_accurately(self, skewed_samples):
+        samples, pmf = skewed_samples
+        hist = compressed_from_samples(samples, 64, 8)
+        assert hist.value_at(0) == pytest.approx(pmf[0], rel=0.15)
+
+    def test_is_distribution(self, skewed_samples):
+        samples, _ = skewed_samples
+        assert compressed_from_samples(samples, 64, 8).is_distribution()
+
+    def test_uniform_data_needs_no_singletons(self, rng):
+        samples = rng.integers(0, 64, size=5000)
+        hist = compressed_from_samples(samples, 64, 8)
+        assert hist.num_pieces <= 12  # never wildly above budget
+
+    def test_bad_fraction_raises(self, skewed_samples):
+        samples, _ = skewed_samples
+        with pytest.raises(InvalidParameterError):
+            compressed_from_samples(samples, 64, 8, singleton_fraction=1.5)
+
+    def test_invalid_k_raises(self, skewed_samples):
+        samples, _ = skewed_samples
+        with pytest.raises(InvalidParameterError):
+            compressed_from_samples(samples, 64, 0)

@@ -1,0 +1,103 @@
+"""Tests for repro.samples.collision."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.samples.collision import CollisionSketch, collision_count
+from repro.utils.prefix import pairs_count
+
+
+def naive_collisions(samples, a, b):
+    """O(m^2) reference: pairs of equal samples falling in [a, b)."""
+    inside = [s for s in samples if a <= s < b]
+    return sum(
+        1
+        for i in range(len(inside))
+        for j in range(i + 1, len(inside))
+        if inside[i] == inside[j]
+    )
+
+
+class TestCollisionCount:
+    def test_no_duplicates(self):
+        assert collision_count(np.array([1, 2, 3])) == 0
+
+    def test_all_equal(self):
+        assert collision_count(np.array([7, 7, 7, 7])) == 6
+
+    def test_mixed(self):
+        assert collision_count(np.array([1, 1, 2, 2, 2])) == 1 + 3
+
+    def test_empty(self):
+        assert collision_count(np.array([], dtype=np.int64)) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=50))
+    def test_matches_naive(self, values):
+        samples = np.array(values, dtype=np.int64)
+        assert collision_count(samples) == naive_collisions(values, 0, 10)
+
+
+class TestCollisionSketch:
+    def test_total(self):
+        sketch = CollisionSketch(np.array([1, 1, 2, 2, 2]), 5)
+        assert sketch.total_collisions == 4
+        assert sketch.size == 5
+
+    def test_interval_queries(self):
+        samples = np.array([0, 0, 1, 3, 3, 3])
+        sketch = CollisionSketch(samples, 5)
+        assert sketch.collisions(0, 2) == 1
+        assert sketch.collisions(3, 5) == 3
+        assert sketch.collisions(1, 3) == 0
+        assert sketch.count(0, 2) == 3
+
+    def test_vectorised_queries(self):
+        samples = np.array([0, 0, 1, 3, 3, 3])
+        sketch = CollisionSketch(samples, 5)
+        coll = sketch.collisions(np.array([0, 3]), np.array([2, 5]))
+        assert np.array_equal(coll, [1, 3])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            CollisionSketch(np.array([9]), 5)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=11), max_size=60),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=12),
+    )
+    def test_matches_naive(self, values, a, b):
+        a, b = min(a, b), max(a, b)
+        sketch = CollisionSketch(np.array(values, dtype=np.int64), 12)
+        assert sketch.collisions(a, b) == naive_collisions(values, a, b)
+        assert sketch.count(a, b) == sum(1 for v in values if a <= v < b)
+
+    def test_grid_prefixes(self):
+        samples = np.array([0, 0, 1, 3, 3, 3, 7])
+        sketch = CollisionSketch(samples, 8)
+        grid = np.array([0, 2, 4, 8])
+        counts, pairs = sketch.prefixes_on_grid(grid)
+        assert pairs[1] - pairs[0] == sketch.collisions(0, 2)
+        assert pairs[2] - pairs[1] == sketch.collisions(2, 4)
+        assert pairs[3] - pairs[2] == sketch.collisions(4, 8)
+        assert counts[3] - counts[0] == 7
+
+    def test_pairs_never_negative(self, rng):
+        samples = rng.integers(0, 100, size=1000)
+        sketch = CollisionSketch(samples, 100)
+        starts = rng.integers(0, 50, size=20)
+        stops = starts + rng.integers(1, 50, size=20)
+        assert np.all(np.asarray(sketch.collisions(starts, stops)) >= 0)
+
+
+class TestScaling:
+    def test_large_counts_exact(self):
+        """int64 exactness for ~10^6 identical samples."""
+        samples = np.zeros(1_000_000, dtype=np.int64)
+        sketch = CollisionSketch(samples, 4)
+        assert sketch.total_collisions == pairs_count(1_000_000)

@@ -1,0 +1,82 @@
+"""Tests for repro.datasets.synthetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    ages_column,
+    product_popularity_column,
+    salaries_column,
+    sensor_readings_column,
+)
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.errors import InvalidParameterError
+
+ALL_COLUMNS = [
+    salaries_column,
+    ages_column,
+    product_popularity_column,
+    sensor_readings_column,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_COLUMNS)
+def test_columns_in_domain(factory, rng):
+    values, n = factory(5000, rng=rng)
+    assert values.dtype == np.int64
+    assert values.min() >= 0 and values.max() < n
+    # usable as an empirical distribution
+    EmpiricalDistribution(values, n)
+
+
+@pytest.mark.parametrize("factory", ALL_COLUMNS)
+def test_columns_deterministic(factory):
+    a, _ = factory(1000, rng=7)
+    b, _ = factory(1000, rng=7)
+    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("factory", ALL_COLUMNS)
+def test_row_count(factory, rng):
+    values, _ = factory(1234, rng=rng)
+    assert values.shape == (1234,)
+
+
+def test_salaries_right_skewed(rng):
+    values, n = salaries_column(50_000, rng=rng)
+    assert np.median(values) < values.mean()
+
+
+def test_ages_bimodal(rng):
+    values, n = ages_column(50_000, rng=rng)
+    counts = np.bincount(values, minlength=n)
+    # the trough between the modes is lower than both peaks
+    young_peak = counts[20:35].max()
+    older_peak = counts[42:58].max()
+    trough = counts[36:41].min()
+    assert trough < young_peak and trough < older_peak
+
+
+def test_popularity_head_heavy(rng):
+    values, n = product_popularity_column(50_000, rng=rng)
+    counts = np.bincount(values, minlength=n)
+    assert counts[:10].sum() > 0.2 * 50_000
+
+
+def test_sensor_readings_histogram_like(rng):
+    """The sensor column is a genuine coarse histogram."""
+    values, n = sensor_readings_column(200_000, rng=rng)
+    emp = EmpiricalDistribution(values, n)
+    from repro.distributions.property_distance import distance_to_k_histogram
+
+    # the floor is the empirical sampling noise, ~ n * sqrt(1/(n*rows)) ~ 0.06
+    assert distance_to_k_histogram(emp, 4, norm="l1") < 0.09
+
+
+def test_invalid_rows():
+    with pytest.raises(InvalidParameterError):
+        salaries_column(0)
+    with pytest.raises(InvalidParameterError):
+        product_popularity_column(10, exponent=0.0)

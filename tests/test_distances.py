@@ -1,0 +1,108 @@
+"""Tests for repro.distributions.distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributions.base import DiscreteDistribution
+from repro.distributions.distances import (
+    as_pmf,
+    l1_distance,
+    l2_distance,
+    l2_distance_squared,
+    linf_distance,
+    total_variation,
+)
+from repro.errors import InvalidDistributionError
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+
+pmf_vectors = st.lists(
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False), min_size=2, max_size=16
+).map(lambda w: np.array(w) / np.sum(w))
+
+
+class TestAsPmf:
+    def test_array_passthrough(self):
+        arr = np.array([0.5, 0.5])
+        assert np.array_equal(as_pmf(arr), arr)
+
+    def test_distribution(self):
+        dist = DiscreteDistribution(np.array([0.25, 0.75]))
+        assert np.array_equal(as_pmf(dist), dist.pmf)
+
+    def test_tiling_histogram(self):
+        hist = TilingHistogram.uniform(4)
+        assert np.allclose(as_pmf(hist), 0.25)
+
+    def test_priority_histogram(self):
+        hist = PriorityHistogram(4)
+        hist.add(hist_interval(0, 2), 0.5)
+        assert np.allclose(as_pmf(hist), [0.5, 0.5, 0, 0])
+
+    def test_2d_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            as_pmf(np.ones((2, 2)))
+
+
+def hist_interval(a, b):
+    from repro.histograms.intervals import Interval
+
+    return Interval(a, b)
+
+
+class TestDistances:
+    def test_l1_basic(self):
+        assert l1_distance([0.5, 0.5], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_l2_basic(self):
+        assert l2_distance([0.5, 0.5], [1.0, 0.0]) == pytest.approx(np.sqrt(0.5))
+
+    def test_l2_squared(self):
+        assert l2_distance_squared([0.5, 0.5], [1.0, 0.0]) == pytest.approx(0.5)
+
+    def test_linf_basic(self):
+        assert linf_distance([0.5, 0.5], [0.9, 0.1]) == pytest.approx(0.4)
+
+    def test_tv_is_half_l1(self):
+        assert total_variation([0.5, 0.5], [1.0, 0.0]) == pytest.approx(0.5)
+
+    def test_mismatched_domains_raise(self):
+        with pytest.raises(InvalidDistributionError):
+            l1_distance(np.ones(3) / 3, np.ones(4) / 4)
+
+    def test_mixed_operand_types(self):
+        dist = DiscreteDistribution(np.ones(4) / 4)
+        hist = TilingHistogram.uniform(4)
+        assert l1_distance(dist, hist) == pytest.approx(0.0)
+
+
+class TestMetricProperties:
+    @given(pmf_vectors)
+    def test_identity(self, p):
+        assert l1_distance(p, p) == 0.0
+        assert l2_distance(p, p) == 0.0
+
+    @given(pmf_vectors, pmf_vectors)
+    def test_symmetry(self, p, q):
+        if p.shape != q.shape:
+            return
+        assert l1_distance(p, q) == pytest.approx(l1_distance(q, p))
+        assert l2_distance(p, q) == pytest.approx(l2_distance(q, p))
+
+    @given(pmf_vectors, pmf_vectors)
+    def test_norm_ordering(self, p, q):
+        """linf <= l2 <= l1 for difference vectors."""
+        if p.shape != q.shape:
+            return
+        assert linf_distance(p, q) <= l2_distance(p, q) + 1e-12
+        assert l2_distance(p, q) <= l1_distance(p, q) + 1e-12
+
+    @given(pmf_vectors)
+    def test_l1_between_distributions_at_most_two(self, p):
+        q = np.zeros_like(p)
+        q[0] = 1.0
+        assert l1_distance(p, q) <= 2.0 + 1e-12

@@ -1,0 +1,154 @@
+"""Tests for repro.distributions.base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import DiscreteDistribution
+from repro.errors import InvalidDistributionError
+from repro.histograms.intervals import Interval
+
+
+@pytest.fixture
+def dist(small_pmf):
+    return DiscreteDistribution(small_pmf)
+
+
+class TestConstruction:
+    def test_valid(self, small_pmf):
+        assert DiscreteDistribution(small_pmf).n == 8
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution(np.array([0.5, 0.6, -0.1]))
+
+    def test_not_summing_to_one_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution(np.array([0.5, 0.4]))
+
+    def test_nan_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution(np.array([0.5, np.nan]))
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution(np.array([]))
+
+    def test_2d_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution(np.ones((2, 2)) / 4)
+
+    def test_from_weights_normalises(self):
+        dist = DiscreteDistribution.from_weights(np.array([1.0, 3.0]))
+        assert np.allclose(dist.pmf, [0.25, 0.75])
+
+    def test_from_weights_zero_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution.from_weights(np.zeros(3))
+
+    def test_pmf_read_only(self, dist):
+        with pytest.raises(ValueError):
+            dist.pmf[0] = 1.0
+
+
+class TestIntervalFunctionals:
+    def test_weight_full_domain(self, dist):
+        assert dist.weight(Interval(0, 8)) == pytest.approx(1.0)
+
+    def test_weight_subinterval(self, dist, small_pmf):
+        assert dist.weight(Interval(2, 5)) == pytest.approx(small_pmf[2:5].sum())
+
+    def test_weight_out_of_domain_raises(self, dist):
+        with pytest.raises(InvalidDistributionError):
+            dist.weight(Interval(0, 9))
+
+    def test_second_moment_full(self, dist, small_pmf):
+        assert dist.second_moment() == pytest.approx((small_pmf**2).sum())
+
+    def test_second_moment_interval(self, dist, small_pmf):
+        assert dist.second_moment(Interval(2, 5)) == pytest.approx(
+            (small_pmf[2:5] ** 2).sum()
+        )
+
+    def test_conditional_sums_to_one(self, dist):
+        assert DiscreteDistribution(dist.conditional(Interval(2, 5)).pmf).n == 3
+
+    def test_conditional_values(self, dist, small_pmf):
+        cond = dist.conditional(Interval(0, 2))
+        assert np.allclose(cond.pmf, [0.5, 0.5])
+
+    def test_conditional_zero_weight_raises(self):
+        pmf = np.array([0.0, 0.0, 1.0])
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution(pmf).conditional(Interval(0, 2))
+
+    def test_conditional_collision_probability_uniform_piece(self, dist):
+        # Elements 2..4 are all equal -> p_I uniform on 3 elements.
+        assert dist.conditional_collision_probability(
+            Interval(2, 5)
+        ) == pytest.approx(1 / 3)
+
+    def test_conditional_collision_probability_zero_weight(self):
+        pmf = np.array([0.0, 0.0, 1.0])
+        dist = DiscreteDistribution(pmf)
+        assert dist.conditional_collision_probability(Interval(0, 2)) == 0.0
+
+
+class TestFlatness:
+    def test_uniform_piece_is_flat(self, dist):
+        assert dist.is_flat(Interval(2, 5))
+
+    def test_nonuniform_piece_is_not_flat(self, dist):
+        assert not dist.is_flat(Interval(0, 3))
+
+    def test_zero_weight_is_flat(self):
+        dist = DiscreteDistribution(np.array([0.0, 0.0, 0.5, 0.5]))
+        assert dist.is_flat(Interval(0, 2))
+
+    def test_min_histogram_pieces(self, small_pmf):
+        assert DiscreteDistribution(small_pmf).min_histogram_pieces() == 3
+
+    def test_min_histogram_pieces_uniform(self):
+        assert DiscreteDistribution(np.ones(5) / 5).min_histogram_pieces() == 1
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self, dist, rng):
+        samples = dist.sample(1000, rng)
+        assert samples.shape == (1000,)
+        assert samples.min() >= 0 and samples.max() < 8
+        assert samples.dtype == np.int64
+
+    def test_sample_zero(self, dist, rng):
+        assert dist.sample(0, rng).shape == (0,)
+
+    def test_sample_negative_raises(self, dist, rng):
+        with pytest.raises(InvalidDistributionError):
+            dist.sample(-1, rng)
+
+    def test_sample_frequencies_converge(self, dist, rng, small_pmf):
+        samples = dist.sample(200_000, rng)
+        freq = np.bincount(samples, minlength=8) / 200_000
+        assert np.abs(freq - small_pmf).max() < 0.01
+
+    def test_sample_deterministic_given_seed(self, dist):
+        assert np.array_equal(dist.sample(50, 9), dist.sample(50, 9))
+
+    def test_zero_mass_elements_never_sampled(self, rng):
+        pmf = np.array([0.0, 1.0, 0.0])
+        samples = DiscreteDistribution(pmf).sample(1000, rng)
+        assert np.all(samples == 1)
+
+    def test_sample_sets(self, dist, rng):
+        sets = dist.sample_sets(3, 100, rng)
+        assert len(sets) == 3
+        assert all(s.shape == (100,) for s in sets)
+        assert not np.array_equal(sets[0], sets[1])
+
+    def test_support_size(self):
+        dist = DiscreteDistribution(np.array([0.0, 0.5, 0.5, 0.0]))
+        assert dist.support_size() == 2
+
+    def test_equality(self, small_pmf):
+        assert DiscreteDistribution(small_pmf) == DiscreteDistribution(small_pmf)

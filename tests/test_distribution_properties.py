@@ -1,0 +1,132 @@
+"""Hypothesis suites for distribution functional identities.
+
+These pin down the exact algebra the paper's analysis relies on:
+additivity of weights and second moments, the conditional-collision
+identity, and the coherence between samplers and estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.base import DiscreteDistribution
+from repro.histograms.intervals import Interval
+from repro.samples.collision import CollisionSketch
+
+
+@st.composite
+def distributions(draw, min_n=2, max_n=40):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    if sum(weights) <= 0:
+        weights = [1.0] * n
+    return DiscreteDistribution(np.array(weights) / np.sum(weights))
+
+
+@st.composite
+def distribution_with_split(draw):
+    dist = draw(distributions(min_n=3))
+    cut = draw(st.integers(min_value=1, max_value=dist.n - 1))
+    return dist, cut
+
+
+class TestWeightAlgebra:
+    @given(distribution_with_split())
+    def test_weight_additivity(self, case):
+        dist, cut = case
+        left = dist.weight(Interval(0, cut))
+        right = dist.weight(Interval(cut, dist.n))
+        assert left + right == pytest.approx(1.0, abs=1e-9)
+
+    @given(distribution_with_split())
+    def test_second_moment_additivity(self, case):
+        dist, cut = case
+        total = dist.second_moment()
+        parts = dist.second_moment(Interval(0, cut)) + dist.second_moment(
+            Interval(cut, dist.n)
+        )
+        assert parts == pytest.approx(total, abs=1e-12)
+
+    @given(distributions())
+    def test_second_moment_bounds(self, dist):
+        """1/n <= ||p||_2^2 <= 1 for any distribution."""
+        norm_sq = dist.second_moment()
+        assert 1.0 / dist.n - 1e-12 <= norm_sq <= 1.0 + 1e-12
+
+    @given(distributions())
+    def test_conditional_collision_identity(self, dist):
+        """||p_I||_2^2 == second_moment(I) / p(I)^2 whenever p(I) > 0."""
+        interval = Interval(0, dist.n)
+        mass = dist.weight(interval)
+        if mass <= 0:
+            return
+        expected = dist.second_moment(interval) / mass**2
+        assert dist.conditional_collision_probability(interval) == pytest.approx(
+            expected
+        )
+
+    @given(distributions())
+    def test_flatness_iff_minimal_norm(self, dist):
+        """An interval is flat iff its conditional norm hits 1/|I|
+        (the identity both flatness tests exploit)."""
+        interval = Interval(0, dist.n)
+        if dist.weight(interval) <= 0:
+            return
+        norm = dist.conditional_collision_probability(interval)
+        if dist.is_flat(interval):
+            assert norm == pytest.approx(1.0 / interval.length, rel=1e-6)
+        else:
+            assert norm > 1.0 / interval.length - 1e-12
+
+
+class TestSamplerEstimatorCoherence:
+    @settings(max_examples=10, deadline=None)
+    @given(distributions(min_n=4, max_n=16), st.integers(min_value=0, max_value=5))
+    def test_sampling_frequencies_track_pmf(self, dist, seed):
+        samples = dist.sample(40_000, seed)
+        freq = np.bincount(samples, minlength=dist.n) / 40_000
+        assert np.abs(freq - dist.pmf).max() < 0.03
+
+    @settings(max_examples=10, deadline=None)
+    @given(distributions(min_n=4, max_n=16), st.integers(min_value=0, max_value=5))
+    def test_collision_statistic_tracks_norm(self, dist, seed):
+        samples = dist.sample(30_000, seed)
+        sketch = CollisionSketch(samples, dist.n)
+        observed = sketch.total_collisions / (30_000 * 29_999 / 2)
+        assert observed == pytest.approx(dist.second_moment(), abs=0.02)
+
+    @settings(max_examples=10, deadline=None)
+    @given(distribution_with_split(), st.integers(min_value=0, max_value=5))
+    def test_interval_collisions_sum_to_total(self, case, seed):
+        """coll(S) >= coll(S_left) + coll(S_right): cross-boundary pairs
+        never collide (different values), so equality holds."""
+        dist, cut = case
+        samples = dist.sample(5_000, seed)
+        sketch = CollisionSketch(samples, dist.n)
+        left = sketch.collisions(0, cut)
+        right = sketch.collisions(cut, dist.n)
+        assert left + right == sketch.total_collisions
+
+
+class TestMinPiecesStructure:
+    @given(distributions())
+    def test_min_pieces_bounds(self, dist):
+        pieces = dist.min_histogram_pieces()
+        assert 1 <= pieces <= dist.n
+
+    @given(distributions())
+    def test_from_pmf_roundtrip_matches_min_pieces(self, dist):
+        from repro.histograms.tiling import TilingHistogram
+
+        hist = TilingHistogram.from_pmf(dist.pmf)
+        assert hist.num_pieces == dist.min_histogram_pieces()
+        assert np.allclose(hist.to_pmf(), dist.pmf)

@@ -1,0 +1,151 @@
+"""Tests for repro.samples.estimators.
+
+Statistical assertions use the deterministic ``rng`` fixture and
+tolerances at 3-5x the paper's own concentration bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.errors import InsufficientSamplesError
+from repro.histograms.intervals import Interval
+from repro.samples.collision import CollisionSketch
+from repro.samples.estimators import (
+    MultiSketch,
+    absolute_second_moment_estimate,
+    conditional_norm_estimate,
+    observed_collision_probability,
+    weight_estimate,
+)
+from repro.samples.sample_set import SampleSet
+
+
+class TestWeightEstimate:
+    def test_converges_to_weight(self, rng):
+        dist = families.zipf(64, 1.0)
+        sample_set = SampleSet(dist.sample(200_000, rng), 64)
+        for interval in (Interval(0, 10), Interval(30, 64), Interval(5, 6)):
+            estimate = weight_estimate(sample_set, interval.start, interval.stop)
+            assert estimate == pytest.approx(dist.weight(interval), abs=0.01)
+
+    def test_vectorised(self, rng):
+        dist = families.uniform(16)
+        sample_set = SampleSet(dist.sample(50_000, rng), 16)
+        estimates = weight_estimate(sample_set, np.array([0, 8]), np.array([8, 16]))
+        assert np.allclose(estimates, 0.5, atol=0.02)
+
+
+class TestObservedCollisionProbability:
+    def test_expectation_is_l2_norm_squared(self, rng):
+        """[GR00] Lemma 1: E[coll / C(m,2)] = ||p||_2^2."""
+        dist = families.zipf(32, 1.0)
+        truth = dist.second_moment()
+        estimates = [
+            observed_collision_probability(dist.sample(5_000, rng))
+            for _ in range(30)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_uniform_gives_one_over_n(self, rng):
+        dist = families.uniform(100)
+        estimate = observed_collision_probability(dist.sample(50_000, rng))
+        assert estimate == pytest.approx(0.01, rel=0.05)
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(InsufficientSamplesError):
+            observed_collision_probability(np.array([3]))
+
+
+class TestAbsoluteSecondMoment:
+    def test_lemma1_concentration(self, rng):
+        """Lemma 1: with m >= 24/eps^2, |z_I - sum p_i^2| <= eps p(I) w.p. 3/4."""
+        dist = families.zipf(64, 1.0)
+        eps = 0.1
+        m = int(24 / eps**2)
+        interval = Interval(0, 8)
+        truth = dist.second_moment(interval)
+        bound = eps * dist.weight(interval)
+        hits = 0
+        trials = 40
+        for _ in range(trials):
+            sketch = CollisionSketch(dist.sample(m, rng), 64)
+            z = absolute_second_moment_estimate(sketch, interval.start, interval.stop)
+            hits += abs(z - truth) <= bound
+        assert hits / trials >= 0.7  # paper guarantees 3/4 in expectation
+
+    def test_whole_domain_matches_norm(self, rng):
+        dist = families.two_level(64)
+        sketch = CollisionSketch(dist.sample(100_000, rng), 64)
+        z = absolute_second_moment_estimate(sketch, 0, 64)
+        assert z == pytest.approx(dist.second_moment(), rel=0.05)
+
+    def test_empty_sketch_raises(self):
+        sketch = CollisionSketch(np.array([], dtype=np.int64), 8)
+        with pytest.raises(InsufficientSamplesError):
+            absolute_second_moment_estimate(sketch, 0, 8)
+
+
+class TestConditionalNorm:
+    def test_converges_to_conditional_norm(self, rng):
+        dist = families.zipf(64, 1.0)
+        interval = Interval(0, 16)
+        truth = dist.conditional_collision_probability(interval)
+        sketch = CollisionSketch(dist.sample(100_000, rng), 64)
+        z = conditional_norm_estimate(sketch, interval.start, interval.stop)
+        assert z == pytest.approx(truth, rel=0.05)
+
+    def test_interval_without_samples_gives_zero(self):
+        sketch = CollisionSketch(np.array([0, 0, 1]), 8)
+        assert conditional_norm_estimate(sketch, 4, 8) == 0.0
+
+    def test_single_sample_gives_zero(self):
+        sketch = CollisionSketch(np.array([0, 0, 5]), 8)
+        assert conditional_norm_estimate(sketch, 4, 8) == 0.0
+
+    def test_uniform_interval_close_to_inverse_length(self, rng):
+        dist = families.uniform(64)
+        sketch = CollisionSketch(dist.sample(200_000, rng), 64)
+        z = conditional_norm_estimate(sketch, 0, 32)
+        assert z == pytest.approx(1 / 32, rel=0.05)
+
+
+class TestMultiSketch:
+    def test_median_reduces_failure_probability(self, rng):
+        """Median-of-r concentrates better than a single estimate."""
+        dist = families.zipf(64, 1.5)
+        interval = Interval(0, 4)
+        truth = dist.second_moment(interval)
+        m = 2_000
+        single_errors, median_errors = [], []
+        for _ in range(20):
+            multi = MultiSketch.from_sample_sets(dist.sample_sets(9, m, rng), 64)
+            z_med = multi.median_absolute_second_moment(interval.start, interval.stop)
+            z_single = absolute_second_moment_estimate(
+                multi.sketches[0], interval.start, interval.stop
+            )
+            median_errors.append(abs(z_med - truth))
+            single_errors.append(abs(z_single - truth))
+        assert np.max(median_errors) <= np.max(single_errors) + 1e-12
+
+    def test_counts_shape(self, rng):
+        dist = families.uniform(16)
+        multi = MultiSketch.from_sample_sets(dist.sample_sets(5, 100, rng), 16)
+        assert multi.counts(0, 8).shape == (5,)
+        assert multi.num_sets == 5
+        assert multi.set_size == 100
+
+    def test_vectorised_medians(self, rng):
+        dist = families.uniform(16)
+        multi = MultiSketch.from_sample_sets(dist.sample_sets(5, 5_000, rng), 16)
+        starts = np.array([0, 8])
+        stops = np.array([8, 16])
+        z = multi.median_conditional_norm(starts, stops)
+        assert z.shape == (2,)
+        assert np.allclose(z, 1 / 8, rtol=0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            MultiSketch([])

@@ -1,0 +1,144 @@
+"""Tests for repro.experiments (harness, registry, CLI, quick runs).
+
+Each experiment runs once in quick mode; assertions target the *shape*
+claims recorded in EXPERIMENTS.md, with slack for the reduced grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.harness import ExperimentConfig, ExperimentResult, accept_rate
+from repro.experiments.registry import experiment_ids, get_experiment, run_experiment
+
+QUICK = ExperimentConfig(seed=0, quick=True)
+ALL_IDS = ["T1", "T2", "F1", "F2", "T3", "T4", "F3", "F4", "T5", "T6", "T7", "T8"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once (quick) and share across assertions."""
+    return {eid: run_experiment(eid, QUICK) for eid in ALL_IDS}
+
+
+class TestHarness:
+    def test_markdown_rendering(self):
+        result = ExperimentResult("X1", "demo", ["a"], [[1]], ["note"])
+        text = result.to_markdown()
+        assert text.startswith("### X1: demo")
+        assert "| a" in text and "- note" in text
+
+    def test_accept_rate(self):
+        assert accept_rate([True, True, False, False]) == 0.5
+        assert accept_rate([]) != accept_rate([])  # NaN
+
+    def test_config_defaults(self):
+        config = ExperimentConfig()
+        assert config.seed == 0 and not config.quick
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        assert experiment_ids() == ALL_IDS
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_experiment("T99")
+
+    def test_case_insensitive(self):
+        assert get_experiment("t1") == get_experiment("T1")
+
+    def test_run_with_default_config(self):
+        result = run_experiment("T5", ExperimentConfig(quick=True))
+        assert result.experiment_id == "T5"
+
+
+class TestExperimentOutputs:
+    def test_every_experiment_produces_rows(self, results):
+        for eid, result in results.items():
+            assert result.rows, f"{eid} produced no rows"
+            assert result.experiment_id == eid
+            assert result.headers
+            result.to_markdown()  # renders without error
+
+    def test_t1_within_theorem_bound(self, results):
+        assert all(row[-1] for row in results["T1"].rows)
+
+    def test_t2_fast_within_bound(self, results):
+        for row in results["T2"].rows:
+            assert row[2] <= row[4]
+
+    def test_f1_error_decreases_with_budget(self, results):
+        errors = [row[2] for row in results["F1"].rows]
+        assert errors[-1] <= errors[0] + 1e-6
+
+    def test_t3_tester_guarantee(self, results):
+        for row in results["T3"].rows:
+            if row[1] == "YES":
+                assert row[3] >= 2 / 3
+            else:
+                assert row[3] <= 1 / 3
+
+    def test_t4_tester_guarantee(self, results):
+        for row in results["T4"].rows:
+            if row[1] == "YES":
+                assert row[3] >= 2 / 3
+            else:
+                assert row[3] <= 1 / 3
+
+    def test_t4_no_instances_certified_far(self, results):
+        for row in results["T4"].rows:
+            if row[1] == "NO":
+                assert row[2] > 0.1  # certified l1 distance
+
+    def test_f3_gap_shape(self, results):
+        rows = results["F3"].rows
+        assert rows[0][2] <= 1 / 3
+        assert rows[-1][2] >= 2 / 3
+
+    def test_f4_transition_shape(self, results):
+        rows = results["F4"].rows
+        for n, k in {(row[0], row[1]) for row in rows}:
+            series = sorted(
+                (row for row in rows if row[0] == n and row[1] == k),
+                key=lambda row: row[2],
+            )
+            assert series[-1][4] >= series[0][4] - 0.15
+
+    def test_t5_lemma1_rate(self, results):
+        for row in results["T5"].rows:
+            if row[1] == "Lemma1 single":
+                assert row[2] >= 0.6
+
+    def test_t6_voptimal_beats_equiwidth_or_depth(self, results):
+        by_name = {row[1]: row[3] for row in results["T6"].rows}
+        assert by_name["v-optimal plug-in"] <= max(
+            by_name["equi-depth"], by_name["equi-width"]
+        )
+
+    def test_t7_all_variants_within_8eps(self, results):
+        assert all(row[2] <= 2.0 for row in results["T7"].rows)
+
+    def test_t8_sample_savings(self, results):
+        rows = results["T8"].rows
+        general = next(r for r in rows if "general" in r[1])
+        gr00 = next(r for r in rows if "GR00" in r[1])
+        assert gr00[2] < general[2] / 10
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ALL_IDS:
+            assert eid in out
+
+    def test_run_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["run", "T5", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "### T5" in out and "completed in" in out

@@ -1,0 +1,134 @@
+"""Failure injection: malformed inputs must fail loudly and cleanly.
+
+Every failure should surface as a :class:`repro.ReproError` subclass (or
+an explicit TypeError for wrong types), never as a silent wrong answer or
+a numpy broadcast error deep in the stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.greedy import learn_histogram
+from repro.core.params import GreedyParams, TesterParams
+from repro.core.tester import test_k_histogram_l1 as khist_test_l1
+from repro.core.tester import test_k_histogram_l2 as khist_test_l2
+from repro.distributions import families
+from repro.errors import ReproError
+
+TINY = GreedyParams(
+    weight_sample_size=100, collision_sets=3, collision_set_size=100, rounds=2
+)
+
+
+class BrokenSource:
+    """A sampler that emits values outside the declared domain."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def sample(self, size, rng=None):
+        return np.full(size, self._n + 5, dtype=np.int64)
+
+
+class NegativeSource:
+    def sample(self, size, rng=None):
+        return np.full(size, -1, dtype=np.int64)
+
+
+class TestLearnerInjection:
+    def test_out_of_domain_source_raises(self):
+        with pytest.raises(ReproError):
+            learn_histogram(BrokenSource(16), 16, 2, 0.3, params=TINY, rng=1)
+
+    def test_negative_sample_source_raises(self):
+        with pytest.raises(ReproError):
+            learn_histogram(NegativeSource(), 16, 2, 0.3, params=TINY, rng=1)
+
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ReproError):
+            learn_histogram(families.uniform(16), 16, 2, 0.0, rng=1)
+        with pytest.raises(ReproError):
+            learn_histogram(families.uniform(16), 16, 2, 1.0, rng=1)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ReproError):
+            learn_histogram(families.uniform(16), 16, 0, 0.3, rng=1)
+
+    def test_source_without_sample_method_raises(self):
+        with pytest.raises(AttributeError):
+            learn_histogram(object(), 16, 2, 0.3, params=TINY, rng=1)
+
+
+class TestTesterInjection:
+    def test_out_of_domain_source_raises(self):
+        params = TesterParams(num_sets=3, set_size=100)
+        with pytest.raises(ReproError):
+            khist_test_l2(BrokenSource(16), 16, 2, 0.3, params=params, rng=1)
+        with pytest.raises(ReproError):
+            khist_test_l1(BrokenSource(16), 16, 2, 0.3, params=params, rng=1)
+
+    def test_k_exceeding_n_raises(self):
+        with pytest.raises(ReproError):
+            khist_test_l2(families.uniform(8), 8, 9, 0.3, rng=1)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ReproError):
+            TesterParams(num_sets=3, set_size=1)
+
+
+class TestDistributionInjection:
+    def test_nan_pmf(self):
+        with pytest.raises(ReproError):
+            repro.DiscreteDistribution(np.array([np.nan, 1.0]))
+
+    def test_inf_pmf(self):
+        with pytest.raises(ReproError):
+            repro.DiscreteDistribution(np.array([np.inf, 1.0]))
+
+    def test_all_zero_weights(self):
+        with pytest.raises(ReproError):
+            repro.DiscreteDistribution.from_weights(np.zeros(4))
+
+    def test_negative_weights(self):
+        with pytest.raises(ReproError):
+            repro.DiscreteDistribution.from_weights(np.array([1.0, -0.5]))
+
+
+class TestHistogramInjection:
+    def test_unsorted_boundaries(self):
+        with pytest.raises(ReproError):
+            repro.TilingHistogram(10, [0, 7, 3, 10], [0.1, 0.1, 0.1])
+
+    def test_nan_values(self):
+        with pytest.raises(ReproError):
+            repro.TilingHistogram(10, [0, 10], [np.nan])
+
+    def test_interval_beyond_domain_in_priority(self):
+        hist = repro.PriorityHistogram(4)
+        with pytest.raises(ReproError):
+            hist.add(repro.Interval(0, 5), 0.1)
+
+    def test_compact_invalid_k(self):
+        with pytest.raises(ReproError):
+            repro.compact(repro.TilingHistogram.uniform(4), 0)
+
+
+class TestErrorsAreCatchableAtOnce:
+    def test_single_except_clause_suffices(self):
+        """Library failures are one `except ReproError` away."""
+        failures = 0
+        attempts = [
+            lambda: repro.DiscreteDistribution(np.array([0.5])),
+            lambda: repro.TilingHistogram(4, [0, 5], [0.2]),
+            lambda: repro.Interval(3, 3),
+            lambda: repro.voptimal_histogram(np.ones(4) / 4, 9),
+        ]
+        for attempt in attempts:
+            try:
+                attempt()
+            except ReproError:
+                failures += 1
+        assert failures == len(attempts)

@@ -1,0 +1,133 @@
+"""Tests for repro.distributions.families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.errors import InvalidParameterError
+
+
+ALL_FAMILIES = [
+    lambda rng: families.uniform(64),
+    lambda rng: families.random_tiling_histogram(64, 5, rng),
+    lambda rng: families.two_level(64),
+    lambda rng: families.zipf(64, 1.2),
+    lambda rng: families.geometric(64, 0.95),
+    lambda rng: families.linear_ramp(64),
+    lambda rng: families.sawtooth(64),
+    lambda rng: families.gaussian_mixture(64),
+    lambda rng: families.dirichlet_random(64, 1.0, rng),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FAMILIES)
+def test_every_family_is_a_distribution(factory, rng):
+    dist = factory(rng)
+    assert dist.n == 64
+    assert dist.pmf.sum() == pytest.approx(1.0)
+    assert np.all(dist.pmf >= 0)
+
+
+class TestUniform:
+    def test_values(self):
+        assert np.allclose(families.uniform(10).pmf, 0.1)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            families.uniform(0)
+
+
+class TestRandomTilingHistogram:
+    def test_is_k_histogram(self, rng):
+        dist = families.random_tiling_histogram(100, 6, rng)
+        assert dist.min_histogram_pieces() <= 6
+
+    def test_min_piece_respected(self, rng):
+        dist = families.random_tiling_histogram(100, 4, rng, min_piece=10)
+        runs = np.flatnonzero(np.diff(dist.pmf))
+        boundaries = np.concatenate(([0], runs + 1, [100]))
+        assert np.diff(boundaries).min() >= 10
+
+    def test_k_too_large_raises(self, rng):
+        with pytest.raises(InvalidParameterError):
+            families.random_tiling_histogram(10, 11, rng)
+
+    def test_deterministic_given_seed(self):
+        a = families.random_tiling_histogram(50, 4, 123)
+        b = families.random_tiling_histogram(50, 4, 123)
+        assert np.array_equal(a.pmf, b.pmf)
+
+    def test_k_equals_one_is_uniform(self, rng):
+        dist = families.random_tiling_histogram(20, 1, rng)
+        assert np.allclose(dist.pmf, 0.05)
+
+
+class TestTwoLevel:
+    def test_heavy_band_mass(self):
+        dist = families.two_level(100, heavy_start=10, heavy_length=20, heavy_mass=0.9)
+        assert dist.pmf[10:30].sum() == pytest.approx(0.9)
+
+    def test_is_three_piece_histogram(self):
+        dist = families.two_level(100, heavy_start=10, heavy_length=20)
+        assert dist.min_histogram_pieces() <= 3
+
+    def test_band_must_fit(self):
+        with pytest.raises(InvalidParameterError):
+            families.two_level(10, heavy_start=5, heavy_length=10)
+
+    def test_invalid_mass(self):
+        with pytest.raises(InvalidParameterError):
+            families.two_level(10, heavy_mass=1.5)
+
+
+class TestShapes:
+    def test_zipf_decreasing(self):
+        pmf = families.zipf(32, 1.0).pmf
+        assert np.all(np.diff(pmf) <= 0)
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        assert np.allclose(families.zipf(16, 0.0).pmf, 1 / 16)
+
+    def test_zipf_negative_exponent_raises(self):
+        with pytest.raises(InvalidParameterError):
+            families.zipf(16, -1.0)
+
+    def test_geometric_ratio_one_is_uniform(self):
+        assert np.allclose(families.geometric(16, 1.0).pmf, 1 / 16)
+
+    def test_geometric_bad_ratio_raises(self):
+        with pytest.raises(InvalidParameterError):
+            families.geometric(16, 0.0)
+
+    def test_ramp_increasing(self):
+        pmf = families.linear_ramp(32).pmf
+        assert np.all(np.diff(pmf) > 0)
+
+    def test_sawtooth_alternates(self):
+        pmf = families.sawtooth(16).pmf
+        assert np.all(pmf[::2] > pmf[1::2])
+
+    def test_sawtooth_teeth_count_validation(self):
+        with pytest.raises(InvalidParameterError):
+            families.sawtooth(8, num_teeth=5)
+
+    def test_sawtooth_is_far_from_uniform(self):
+        """The fine zigzag keeps l1 distance from uniform ~ constant."""
+        pmf = families.sawtooth(128, low=0.25, high=1.75).pmf
+        assert np.abs(pmf - 1 / 128).sum() > 0.5
+
+    def test_gaussian_mixture_peaks_near_centers(self):
+        dist = families.gaussian_mixture(100, centers=[25.0], widths=[5.0])
+        assert abs(int(np.argmax(dist.pmf)) - 25) <= 1
+
+    def test_gaussian_mixture_validation(self):
+        with pytest.raises(InvalidParameterError):
+            families.gaussian_mixture(100, centers=[10.0], widths=[1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            families.gaussian_mixture(100, centers=[10.0], widths=[-1.0])
+
+    def test_dirichlet_alpha_validation(self):
+        with pytest.raises(InvalidParameterError):
+            families.dirichlet_random(10, alpha=0.0)

@@ -1,0 +1,79 @@
+"""Tests for repro.histograms.fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.histograms.fit import best_fit_values, refit
+from repro.histograms.tiling import TilingHistogram
+
+
+class TestBestFitValues:
+    def test_l2_is_piece_mean(self):
+        pmf = np.array([0.1, 0.3, 0.2, 0.4])
+        values = best_fit_values(pmf, [0, 2, 4], norm="l2")
+        assert np.allclose(values, [0.2, 0.3])
+
+    def test_l1_is_piece_median(self):
+        pmf = np.array([0.0, 0.0, 1.0, 0.5, 0.5, 0.5])
+        values = best_fit_values(pmf, [0, 3, 6], norm="l1")
+        assert np.allclose(values, [0.0, 0.5])
+
+    def test_bad_norm_raises(self):
+        with pytest.raises(InvalidParameterError):
+            best_fit_values(np.ones(4) / 4, [0, 4], norm="l3")
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False), min_size=4, max_size=12
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_l2_mean_is_optimal(self, values, cut_at):
+        """No constant beats the mean on squared error."""
+        pmf = np.array(values)
+        boundaries = sorted({0, min(cut_at, len(values) - 1), len(values)})
+        fit = best_fit_values(pmf, np.array(boundaries), norm="l2")
+        for j in range(len(boundaries) - 1):
+            seg = pmf[boundaries[j] : boundaries[j + 1]]
+            base = ((seg - fit[j]) ** 2).sum()
+            for delta in (-0.01, 0.01):
+                assert base <= ((seg - (fit[j] + delta)) ** 2).sum() + 1e-12
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False), min_size=4, max_size=12
+        )
+    )
+    def test_l1_median_is_optimal(self, values):
+        pmf = np.array(values)
+        boundaries = np.array([0, len(values)])
+        fit = best_fit_values(pmf, boundaries, norm="l1")
+        base = np.abs(pmf - fit[0]).sum()
+        for delta in (-0.01, 0.01):
+            assert base <= np.abs(pmf - (fit[0] + delta)).sum() + 1e-12
+
+
+class TestRefit:
+    def test_refit_improves_l2(self):
+        pmf = np.array([0.1, 0.3, 0.25, 0.35])
+        bad = TilingHistogram(4, [0, 2, 4], [0.0, 0.0])
+        better = refit(bad, pmf, norm="l2")
+        before = ((pmf - bad.to_pmf()) ** 2).sum()
+        after = ((pmf - better.to_pmf()) ** 2).sum()
+        assert after <= before
+
+    def test_refit_keeps_partition(self):
+        pmf = np.ones(6) / 6
+        hist = TilingHistogram(6, [0, 2, 6], [0.5, 0.0])
+        assert np.array_equal(refit(hist, pmf).boundaries, hist.boundaries)
+
+    def test_l2_refit_of_distribution_is_distribution(self):
+        """Mean-fitting any partition to a pmf yields total mass exactly 1."""
+        pmf = np.array([0.4, 0.1, 0.1, 0.1, 0.3])
+        hist = TilingHistogram(5, [0, 1, 3, 5], [0.0, 0.0, 0.0])
+        assert refit(hist, pmf, norm="l2").total_mass() == pytest.approx(1.0)

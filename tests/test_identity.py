@@ -1,0 +1,102 @@
+"""Tests for repro.core.identity (l2 identity testing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+# Alias the paper-named ``test*`` function so pytest does not collect it.
+from repro.core.identity import identity_sample_size
+from repro.core.identity import test_identity_l2 as identity_test
+from repro.distributions import families
+from repro.distributions.base import DiscreteDistribution
+from repro.errors import InvalidParameterError
+
+
+class TestSampleSize:
+    def test_sqrt_n_scaling(self):
+        assert identity_sample_size(40_000, 0.25) == pytest.approx(
+            20 * identity_sample_size(100, 0.25), rel=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            identity_sample_size(0, 0.25)
+        with pytest.raises(InvalidParameterError):
+            identity_sample_size(100, 1.0)
+
+
+class TestIdentityTester:
+    def test_accepts_identical(self):
+        dist = families.zipf(256, 1.0)
+        result = identity_test(dist, dist, 0.2, rng=1)
+        assert result.accepted
+        assert result.statistic == pytest.approx(0.0, abs=result.threshold)
+
+    def test_rejects_l2_far_pair(self):
+        """Point masses in different places are l2-far."""
+        p = np.zeros(256)
+        p[:4] = 0.25
+        q = np.zeros(256)
+        q[200:204] = 0.25
+        result = identity_test(
+            DiscreteDistribution(p), DiscreteDistribution(q), 0.3, rng=2
+        )
+        assert not result.accepted
+
+    def test_accepts_uniform_vs_uniform(self):
+        dist = families.uniform(1024)
+        assert identity_test(dist, dist.pmf, 0.25, rng=3).accepted
+
+    def test_rejects_spike_vs_uniform(self):
+        spike = families.spikes(1024, 4)
+        uniform = families.uniform(1024)
+        assert not identity_test(spike, uniform, 0.3, rng=4).accepted
+
+    def test_symmetric_detection(self):
+        """Also detects the missing spike direction (p uniform, q spiky)."""
+        spike = families.spikes(1024, 4)
+        uniform = families.uniform(1024)
+        assert not identity_test(uniform, spike, 0.3, rng=5).accepted
+
+    def test_acceptance_rate(self):
+        dist = families.two_level(512, heavy_start=0, heavy_length=64)
+        accepts = sum(
+            identity_test(dist, dist, 0.25, rng=10 + i).accepted for i in range(10)
+        )
+        assert accepts >= 7
+
+    def test_rejection_rate(self):
+        p = families.spikes(512, 4)
+        q = families.uniform(512)
+        rejects = sum(
+            not identity_test(p, q, 0.3, rng=30 + i).accepted for i in range(10)
+        )
+        assert rejects >= 7
+
+    def test_accepts_histogram_reference(self):
+        from repro.histograms.tiling import TilingHistogram
+
+        hist = TilingHistogram.uniform(256)
+        assert identity_test(families.uniform(256), hist, 0.25, rng=6).accepted
+
+    def test_out_of_domain_samples_raise(self):
+        class Broken:
+            def sample(self, size, rng=None):
+                return np.full(size, 999, dtype=np.int64)
+
+        with pytest.raises(InvalidParameterError):
+            identity_test(Broken(), families.uniform(16), 0.25, rng=7)
+
+    def test_validation(self):
+        dist = families.uniform(16)
+        with pytest.raises(InvalidParameterError):
+            identity_test(dist, dist, 0.0)
+        with pytest.raises(InvalidParameterError):
+            identity_test(dist, dist, 0.25, scale=0.0)
+
+    def test_metadata(self):
+        dist = families.uniform(64)
+        result = identity_test(dist, dist, 0.25, rng=8)
+        assert result.samples_used >= 16
+        assert result.threshold == pytest.approx(0.25**2 / 2)

@@ -1,0 +1,120 @@
+"""Tests for repro.histograms.intervals."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidIntervalError
+from repro.histograms.intervals import Interval, overlap_length
+
+intervals = st.tuples(
+    st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=20)
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+
+class TestConstruction:
+    def test_basic(self):
+        ivl = Interval(2, 5)
+        assert ivl.start == 2 and ivl.stop == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(3, 3)
+
+    def test_reversed_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 2)
+
+    def test_negative_start_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(-1, 2)
+
+    def test_from_closed(self):
+        assert Interval.from_closed(2, 4) == Interval(2, 5)
+
+    def test_from_closed_singleton(self):
+        assert Interval.from_closed(3, 3).length == 1
+
+    def test_hashable(self):
+        assert len({Interval(0, 1), Interval(0, 1), Interval(0, 2)}) == 2
+
+    def test_ordering(self):
+        assert Interval(0, 3) < Interval(1, 2)
+        assert Interval(1, 2) < Interval(1, 3)
+
+
+class TestGeometry:
+    def test_length(self):
+        assert Interval(2, 7).length == 5
+
+    def test_contains(self):
+        ivl = Interval(2, 5)
+        assert ivl.contains(2) and ivl.contains(4)
+        assert not ivl.contains(5) and not ivl.contains(1)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(3, 7))
+        assert not Interval(3, 7).contains_interval(Interval(0, 10))
+        assert Interval(3, 7).contains_interval(Interval(3, 7))
+
+    def test_intersects(self):
+        assert Interval(0, 5).intersects(Interval(4, 8))
+        assert not Interval(0, 5).intersects(Interval(5, 8))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 3).intersection(Interval(5, 9)) is None
+
+    def test_difference_middle(self):
+        parts = Interval(0, 10).difference(Interval(3, 6))
+        assert parts == [Interval(0, 3), Interval(6, 10)]
+
+    def test_difference_covering(self):
+        assert Interval(3, 6).difference(Interval(0, 10)) == []
+
+    def test_difference_disjoint(self):
+        assert Interval(0, 3).difference(Interval(5, 8)) == [Interval(0, 3)]
+
+    def test_difference_left_overlap(self):
+        assert Interval(2, 8).difference(Interval(0, 5)) == [Interval(5, 8)]
+
+    def test_adjacent(self):
+        assert Interval(0, 3).is_adjacent_to(Interval(3, 5))
+        assert not Interval(0, 3).is_adjacent_to(Interval(4, 5))
+
+    def test_as_slice(self):
+        assert list(range(10)[Interval(2, 5).as_slice()]) == [2, 3, 4]
+
+    def test_overlap_length(self):
+        assert overlap_length(Interval(0, 5), Interval(3, 9)) == 2
+        assert overlap_length(Interval(0, 3), Interval(5, 9)) == 0
+
+
+class TestIntervalProperties:
+    @given(intervals, intervals)
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(intervals, intervals)
+    def test_intersection_consistent_with_intersects(self, a, b):
+        assert (a.intersection(b) is not None) == a.intersects(b)
+
+    @given(intervals, intervals)
+    def test_difference_plus_intersection_partitions(self, a, b):
+        """|a \\ b| + |a intersect b| == |a|."""
+        inter = a.intersection(b)
+        inter_len = inter.length if inter else 0
+        diff_len = sum(piece.length for piece in a.difference(b))
+        assert inter_len + diff_len == a.length
+
+    @given(intervals, intervals)
+    def test_difference_pieces_disjoint_from_b(self, a, b):
+        for piece in a.difference(b):
+            assert not piece.intersects(b)
+            assert a.contains_interval(piece)
+
+    @given(intervals)
+    def test_overlap_length_self(self, a):
+        assert overlap_length(a, a) == a.length

@@ -1,0 +1,154 @@
+"""Tests for repro.core.lower_bound (Theorem 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lower_bound import (
+    collision_distinguisher,
+    heavy_intervals,
+    no_instance,
+    yes_instance,
+)
+from repro.distributions.property_distance import distance_to_k_histogram
+from repro.errors import InvalidParameterError
+
+
+class TestYesInstance:
+    def test_is_distribution(self):
+        dist = yes_instance(100, 4)
+        assert dist.pmf.sum() == pytest.approx(1.0)
+
+    def test_is_k_histogram(self):
+        dist = yes_instance(100, 4)
+        assert dist.min_histogram_pieces() <= 4
+
+    def test_alternating_masses(self):
+        from repro.histograms.intervals import Interval
+
+        dist = yes_instance(100, 4)
+        assert dist.weight(Interval(0, 25)) == pytest.approx(0.5)
+        assert dist.weight(Interval(25, 50)) == pytest.approx(0.0)
+        assert dist.weight(Interval(50, 75)) == pytest.approx(0.5)
+
+    def test_uniform_within_heavy(self):
+        dist = yes_instance(100, 4)
+        for interval in heavy_intervals(100, 4):
+            assert dist.is_flat(interval)
+
+    def test_odd_k(self):
+        dist = yes_instance(99, 5)
+        assert dist.pmf.sum() == pytest.approx(1.0)
+        assert len(heavy_intervals(99, 5)) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            yes_instance(10, 11)
+
+
+class TestNoInstance:
+    def test_is_distribution(self):
+        dist = no_instance(100, 4, rng=3)
+        assert dist.pmf.sum() == pytest.approx(1.0)
+
+    def test_exactly_one_interval_scrambled(self):
+        yes = yes_instance(100, 4)
+        no = no_instance(100, 4, rng=3)
+        changed = [
+            iv
+            for iv in heavy_intervals(100, 4)
+            if not np.allclose(yes.pmf[iv.start : iv.stop], no.pmf[iv.start : iv.stop])
+        ]
+        assert len(changed) == 1
+
+    def test_scrambled_interval_half_support(self):
+        no = no_instance(100, 4, rng=3)
+        yes = yes_instance(100, 4)
+        for iv in heavy_intervals(100, 4):
+            seg = no.pmf[iv.start : iv.stop]
+            if not np.allclose(seg, yes.pmf[iv.start : iv.stop]):
+                zeros = np.count_nonzero(seg == 0)
+                assert zeros == iv.length // 2
+                # survivors carry (roughly) double probability
+                level = yes.pmf[iv.start]
+                assert np.allclose(seg[seg > 0], 2 * level, rtol=0.1)
+
+    def test_mass_preserved_per_interval(self):
+        yes = yes_instance(100, 4)
+        no = no_instance(100, 4, rng=5)
+        for iv in heavy_intervals(100, 4):
+            assert no.weight(iv) == pytest.approx(yes.weight(iv))
+
+    def test_no_instance_is_far_in_l1(self):
+        """The scrambled instance is Omega(1/k)-far from k-histograms."""
+        k = 4
+        no = no_instance(128, k, rng=7)
+        lower = distance_to_k_histogram(no, k, norm="l1")
+        assert lower > 0.1  # ~ 1/(2k) = 0.125 for the scrambled quarter
+
+    def test_too_small_interval_raises(self):
+        with pytest.raises(InvalidParameterError):
+            no_instance(4, 4, rng=3)
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(
+            no_instance(64, 4, rng=9).pmf, no_instance(64, 4, rng=9).pmf
+        )
+
+
+class TestHeavyIntervals:
+    def test_even_k(self):
+        intervals = heavy_intervals(100, 4)
+        assert [(iv.start, iv.stop) for iv in intervals] == [(0, 25), (50, 75)]
+
+    def test_cover_half_the_domain(self):
+        intervals = heavy_intervals(128, 8)
+        assert sum(iv.length for iv in intervals) == 64
+
+
+class TestCollisionDistinguisher:
+    def test_separates_at_large_sample_size(self, rng):
+        n, k = 1024, 8
+        m = int(6 * np.sqrt(k * n))
+        yes, no = yes_instance(n, k), no_instance(n, k, rng=1)
+        yes_flags = [
+            collision_distinguisher(yes.sample(m, rng), n, k).says_no
+            for _ in range(10)
+        ]
+        no_flags = [
+            collision_distinguisher(no.sample(m, rng), n, k).says_no
+            for _ in range(10)
+        ]
+        assert sum(yes_flags) <= 3
+        assert sum(no_flags) >= 7
+
+    def test_fails_at_tiny_sample_size(self, rng):
+        """Below ~sqrt(kn) samples the verdicts carry little signal:
+        heavy intervals see too few hits for any collision pair."""
+        n, k = 4096, 8
+        m = int(0.05 * np.sqrt(k * n))
+        no = no_instance(n, k, rng=2)
+        flags = [
+            collision_distinguisher(no.sample(m, rng), n, k).says_no
+            for _ in range(20)
+        ]
+        assert sum(flags) <= 10  # no better than chance
+
+    def test_statistic_near_one_on_yes(self, rng):
+        n, k = 1024, 4
+        m = 20_000
+        verdict = collision_distinguisher(yes_instance(n, k).sample(m, rng), n, k)
+        assert verdict.statistic == pytest.approx(1.0, abs=0.2)
+
+    def test_statistic_near_two_on_no(self, rng):
+        n, k = 1024, 4
+        m = 20_000
+        verdict = collision_distinguisher(
+            no_instance(n, k, rng=3).sample(m, rng), n, k
+        )
+        assert verdict.statistic == pytest.approx(2.0, abs=0.3)
+
+    def test_invalid_threshold(self, rng):
+        with pytest.raises(InvalidParameterError):
+            collision_distinguisher(np.array([1, 2, 3]), 16, 2, threshold_factor=1.0)

@@ -1,0 +1,138 @@
+"""Tests for repro.core.params (the paper's formulas)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    GreedyParams,
+    TesterParams,
+    flatness_l1_min_hits,
+    greedy_rounds,
+    xi,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestXi:
+    def test_formula(self):
+        assert xi(4, 0.1) == pytest.approx(0.1 / (4 * math.log(10)))
+
+    def test_decreasing_in_k(self):
+        assert xi(8, 0.1) < xi(2, 0.1)
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            xi(4, 0.0)
+        with pytest.raises(InvalidParameterError):
+            xi(4, 1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            xi(0, 0.1)
+
+
+class TestGreedyRounds:
+    def test_formula(self):
+        assert greedy_rounds(4, 0.1) == math.ceil(4 * math.log(10))
+
+    def test_at_least_one(self):
+        assert greedy_rounds(1, 0.9) >= 1
+
+    def test_scales_with_k(self):
+        # ceil() makes the doubling inexact by at most one round
+        assert abs(greedy_rounds(8, 0.1) - 2 * greedy_rounds(4, 0.1)) <= 1
+
+
+class TestGreedyParams:
+    def test_paper_formulas(self):
+        params = GreedyParams.from_paper(1000, 4, 0.1)
+        accuracy = xi(4, 0.1)
+        assert params.weight_sample_size == math.ceil(
+            math.log(12 * 1000**2) / (2 * accuracy**2)
+        )
+        assert params.collision_set_size == math.ceil(24 / accuracy**2)
+        assert params.rounds == greedy_rounds(4, 0.1)
+
+    def test_collision_sets_odd(self):
+        assert GreedyParams.from_paper(1000, 4, 0.1).collision_sets % 2 == 1
+
+    def test_scale_reduces_set_sizes(self):
+        full = GreedyParams.from_paper(1000, 4, 0.1, scale=1.0)
+        tiny = GreedyParams.from_paper(1000, 4, 0.1, scale=0.01)
+        assert tiny.weight_sample_size < full.weight_sample_size
+        assert tiny.collision_set_size < full.collision_set_size
+        assert tiny.collision_sets == full.collision_sets  # r not scaled
+        assert tiny.rounds == full.rounds
+
+    def test_total_samples(self):
+        params = GreedyParams(100, 5, 200, 3)
+        assert params.total_samples == 100 + 5 * 200
+
+    def test_log_dependence_on_n(self):
+        """Sample complexity grows logarithmically in n (Theorem 1)."""
+        small = GreedyParams.from_paper(100, 4, 0.1)
+        big = GreedyParams.from_paper(100_000, 4, 0.1)
+        ratio = big.weight_sample_size / small.weight_sample_size
+        assert ratio < 4  # log(1e10)/log(1.2e5) ~ 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            GreedyParams.from_paper(100, 4, 0.1, scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            GreedyParams.from_paper(100, 4, 0.1, scale=1.5)
+
+    def test_invalid_fields(self):
+        with pytest.raises(InvalidParameterError):
+            GreedyParams(0, 5, 200, 3)
+
+
+class TestTesterParams:
+    def test_l2_formula(self):
+        params = TesterParams.l2_from_paper(1000, 0.25)
+        assert params.set_size == math.ceil(64 * math.log(1000) / 0.25**4)
+        assert params.num_sets >= 16 * math.log(6 * 1000**2)
+
+    def test_l1_formula(self):
+        params = TesterParams.l1_from_paper(1000, 4, 0.25)
+        expected = math.ceil(2**13 * math.sqrt(4 * 1000) / 0.25**5)
+        assert params.set_size == expected
+
+    def test_l1_scales_with_sqrt_kn(self):
+        """Theorem 4: m ~ sqrt(kn)."""
+        base = TesterParams.l1_from_paper(1000, 4, 0.25).set_size
+        quad = TesterParams.l1_from_paper(4000, 4, 0.25).set_size
+        assert quad == pytest.approx(2 * base, rel=0.01)
+
+    def test_l2_polylog_in_n(self):
+        """Theorem 3: m ~ ln n (not polynomial)."""
+        small = TesterParams.l2_from_paper(100, 0.25).set_size
+        big = TesterParams.l2_from_paper(10_000, 0.25).set_size
+        assert big / small < 3
+
+    def test_total_samples(self):
+        assert TesterParams(10, 100).total_samples == 1000
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TesterParams(0, 100)
+        with pytest.raises(InvalidParameterError):
+            TesterParams.l2_from_paper(100, 1.5)
+
+
+class TestFlatnessThreshold:
+    def test_formula(self):
+        assert flatness_l1_min_hits(64, 0.5) == pytest.approx(
+            16**3 * 8 / 0.5**4
+        )
+
+    def test_grows_with_length(self):
+        assert flatness_l1_min_hits(100, 0.5) > flatness_l1_min_hits(10, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            flatness_l1_min_hits(0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            flatness_l1_min_hits(10, 1.5)

@@ -1,0 +1,100 @@
+"""Tests for repro.distributions.perturb and .empirical."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.distributions.distances import l1_distance
+from repro.distributions.empirical import EmpiricalDistribution, empirical_pmf
+from repro.distributions.perturb import mix, perturb_within_pieces
+from repro.errors import InvalidDistributionError, InvalidParameterError
+
+
+class TestPerturbWithinPieces:
+    def test_zero_amplitude_is_identity(self):
+        dist = families.uniform(16)
+        assert np.allclose(perturb_within_pieces(dist, 0.0).pmf, dist.pmf)
+
+    def test_preserves_total_mass(self):
+        dist = families.zipf(17, 1.0)  # odd n exercises the tail element
+        perturbed = perturb_within_pieces(dist, 0.3)
+        assert perturbed.pmf.sum() == pytest.approx(1.0)
+
+    def test_l1_distance_scales_with_amplitude_on_uniform(self):
+        dist = families.uniform(64)
+        for amplitude in (0.1, 0.2, 0.4):
+            perturbed = perturb_within_pieces(dist, amplitude)
+            assert l1_distance(dist, perturbed) == pytest.approx(amplitude)
+
+    def test_monotone_in_amplitude(self):
+        dist = families.random_tiling_histogram(64, 4, 5)
+        distances = [
+            l1_distance(dist, perturb_within_pieces(dist, a))
+            for a in (0.05, 0.1, 0.2, 0.4)
+        ]
+        assert all(x < y for x, y in zip(distances, distances[1:]))
+
+    def test_invalid_amplitude_raises(self):
+        dist = families.uniform(8)
+        with pytest.raises(InvalidParameterError):
+            perturb_within_pieces(dist, 1.0)
+        with pytest.raises(InvalidParameterError):
+            perturb_within_pieces(dist, -0.1)
+
+    def test_pairwise_mass_preserved(self):
+        """Mass only moves between (2i, 2i+1) neighbours."""
+        dist = families.zipf(16, 1.0)
+        perturbed = perturb_within_pieces(dist, 0.5)
+        pairs_before = dist.pmf[:16].reshape(8, 2).sum(axis=1)
+        pairs_after = perturbed.pmf[:16].reshape(8, 2).sum(axis=1)
+        assert np.allclose(pairs_before, pairs_after)
+
+
+class TestMix:
+    def test_endpoints(self):
+        p = families.uniform(8)
+        q = families.zipf(8, 1.0)
+        assert np.allclose(mix(p, q, 0.0).pmf, p.pmf)
+        assert np.allclose(mix(p, q, 1.0).pmf, q.pmf)
+
+    def test_distance_linear_in_weight(self):
+        p = families.uniform(8)
+        q = families.zipf(8, 1.0)
+        full = l1_distance(p, q)
+        assert l1_distance(p, mix(p, q, 0.25)) == pytest.approx(0.25 * full)
+
+    def test_domain_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            mix(families.uniform(8), families.uniform(9), 0.5)
+
+    def test_invalid_weight_raises(self):
+        with pytest.raises(InvalidParameterError):
+            mix(families.uniform(8), families.uniform(8), 1.5)
+
+
+class TestEmpirical:
+    def test_empirical_pmf_counts(self):
+        pmf = empirical_pmf(np.array([0, 0, 1, 3]), 4)
+        assert np.allclose(pmf, [0.5, 0.25, 0.0, 0.25])
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            empirical_pmf(np.array([], dtype=np.int64), 4)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            empirical_pmf(np.array([0, 4]), 4)
+
+    def test_empirical_distribution_counts(self):
+        dist = EmpiricalDistribution(np.array([0, 0, 1, 3]), 4)
+        assert np.array_equal(dist.counts, [2, 1, 0, 1])
+        assert dist.num_samples == 4
+        assert dist.pmf.sum() == pytest.approx(1.0)
+
+    def test_empirical_converges_to_truth(self, rng):
+        true = families.zipf(32, 1.0)
+        samples = true.sample(100_000, rng)
+        emp = EmpiricalDistribution(samples, 32)
+        assert l1_distance(true, emp) < 0.05

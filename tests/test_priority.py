@@ -1,0 +1,125 @@
+"""Tests for repro.histograms.priority."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidHistogramError
+from repro.histograms.intervals import Interval
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+
+
+@st.composite
+def priority_histograms(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    hist = PriorityHistogram(n)
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        start = draw(st.integers(min_value=0, max_value=n - 1))
+        stop = draw(st.integers(min_value=start + 1, max_value=n))
+        value = draw(st.floats(min_value=0, max_value=1, allow_nan=False))
+        hist.add(Interval(start, stop), value)
+    return hist
+
+
+class TestConstruction:
+    def test_empty(self):
+        hist = PriorityHistogram(10)
+        assert hist.num_pieces == 0
+        assert hist.value_at(5) == 0.0
+
+    def test_add_assigns_increasing_priorities(self):
+        hist = PriorityHistogram(10)
+        first = hist.add(Interval(0, 5), 0.1)
+        second = hist.add(Interval(2, 8), 0.2)
+        assert second.priority == first.priority + 1
+
+    def test_add_many_shares_priority(self):
+        hist = PriorityHistogram(10)
+        hist.add(Interval(0, 10), 0.1)
+        hist.add_many([(Interval(0, 3), 0.2), (Interval(7, 10), 0.3)])
+        priorities = [p.priority for p in hist.pieces()]
+        assert priorities == [1, 2, 2]
+
+    def test_out_of_domain_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            PriorityHistogram(5).add(Interval(0, 6), 0.1)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            PriorityHistogram(5).add(Interval(0, 5), -0.1)
+
+
+class TestEvaluation:
+    def test_highest_priority_wins(self):
+        hist = PriorityHistogram(10)
+        hist.add(Interval(0, 10), 0.1)
+        hist.add(Interval(3, 6), 0.5)
+        assert hist.value_at(0) == 0.1
+        assert hist.value_at(4) == 0.5
+        assert hist.value_at(9) == 0.1
+
+    def test_uncovered_is_zero(self):
+        hist = PriorityHistogram(10)
+        hist.add(Interval(3, 6), 0.5)
+        assert hist.value_at(0) == 0.0
+        assert hist.value_at(9) == 0.0
+
+    def test_tie_broken_by_insertion_order(self):
+        """The paper's rule: the largest index wins among equal coverage."""
+        hist = PriorityHistogram(10)
+        hist.add(Interval(0, 10), 0.1, priority=1)
+        hist.add(Interval(0, 10), 0.9, priority=1)
+        assert hist.value_at(5) == 0.9
+
+    def test_array_evaluation(self):
+        hist = PriorityHistogram(6)
+        hist.add(Interval(2, 4), 0.5)
+        assert np.allclose(hist.value_at(np.arange(6)), [0, 0, 0.5, 0.5, 0, 0])
+
+    def test_out_of_domain_eval_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            PriorityHistogram(5).value_at(5)
+
+
+class TestFlattening:
+    def test_simple_flatten(self):
+        hist = PriorityHistogram(10)
+        hist.add(Interval(0, 10), 0.05)
+        hist.add(Interval(4, 6), 0.3)
+        tiling = hist.to_tiling()
+        assert isinstance(tiling, TilingHistogram)
+        assert np.allclose(tiling.to_pmf(), hist.value_at(np.arange(10)))
+
+    def test_flatten_with_gaps(self):
+        hist = PriorityHistogram(10)
+        hist.add(Interval(2, 5), 0.2)
+        tiling = hist.to_tiling()
+        pmf = tiling.to_pmf()
+        assert pmf[0] == 0.0 and pmf[2] == 0.2 and pmf[9] == 0.0
+
+    def test_from_tiling_roundtrip(self):
+        tiling = TilingHistogram(8, [0, 3, 8], [0.2, 0.08])
+        hist = PriorityHistogram.from_tiling(tiling)
+        assert np.allclose(hist.to_pmf(), tiling.to_pmf())
+
+    @given(priority_histograms())
+    def test_flatten_agrees_with_pointwise_evaluation(self, hist):
+        """to_tiling() must agree with the priority-resolution semantics."""
+        points = np.arange(hist.n)
+        assert np.allclose(hist.to_tiling().to_pmf(), hist.value_at(points))
+
+    @given(priority_histograms())
+    def test_flatten_piece_bound(self, hist):
+        """Section 1.1: priority k-histogram -> tiling with <= 2k+1 pieces."""
+        tiling = hist.to_tiling()
+        assert tiling.num_pieces <= 2 * max(hist.num_pieces, 1) + 1
+
+    @given(priority_histograms())
+    def test_priority_histogram_mass_matches_tiling(self, hist):
+        assert hist.to_tiling().total_mass() == pytest.approx(
+            float(hist.to_pmf().sum())
+        )

@@ -1,0 +1,73 @@
+"""Tests for repro.distributions.property_distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.distributions.distances import l1_distance, l2_distance
+from repro.distributions.property_distance import (
+    distance_to_k_histogram,
+    is_k_histogram,
+    nearest_k_histogram,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestDistanceToKHistogram:
+    def test_member_has_zero_distance(self, rng):
+        dist = families.random_tiling_histogram(64, 4, rng)
+        assert distance_to_k_histogram(dist, 4, norm="l2") == pytest.approx(0.0, abs=1e-9)
+        assert distance_to_k_histogram(dist, 4, norm="l1") == pytest.approx(0.0, abs=1e-9)
+
+    def test_larger_k_never_increases_distance(self):
+        dist = families.sawtooth(64)
+        d4 = distance_to_k_histogram(dist, 4, norm="l1")
+        d8 = distance_to_k_histogram(dist, 8, norm="l1")
+        assert d8 <= d4 + 1e-12
+
+    def test_sawtooth_is_far_in_l1(self):
+        """The canonical NO instance keeps constant l1 distance."""
+        dist = families.sawtooth(128, low=0.25, high=1.75)
+        assert distance_to_k_histogram(dist, 8, norm="l1") > 0.3
+
+    def test_uniform_is_1_histogram(self):
+        dist = families.uniform(32)
+        assert distance_to_k_histogram(dist, 1, norm="l2") == pytest.approx(0.0, abs=1e-12)
+
+    def test_bad_norm_raises(self):
+        with pytest.raises(InvalidParameterError):
+            distance_to_k_histogram(families.uniform(8), 2, norm="tv")
+
+    def test_l2_distance_matches_nearest(self):
+        dist = families.linear_ramp(32)
+        hist, d = nearest_k_histogram(dist, 3, norm="l2")
+        assert d == pytest.approx(l2_distance(dist, hist), abs=1e-12)
+        assert d == pytest.approx(distance_to_k_histogram(dist, 3, norm="l2"), abs=1e-12)
+
+    def test_l1_lower_bound_below_realised(self):
+        dist = families.linear_ramp(32)
+        hist, realised = nearest_k_histogram(dist, 3, norm="l1")
+        lower = distance_to_k_histogram(dist, 3, norm="l1")
+        assert lower <= realised + 1e-12
+        assert realised == pytest.approx(l1_distance(dist, hist), abs=1e-12)
+
+    def test_nearest_is_valid_histogram(self):
+        hist, _ = nearest_k_histogram(families.sawtooth(32), 4, norm="l2")
+        assert hist.num_pieces <= 4
+        assert hist.total_mass() == pytest.approx(1.0)
+
+
+class TestIsKHistogram:
+    def test_exact_member(self, rng):
+        dist = families.random_tiling_histogram(50, 3, rng)
+        assert is_k_histogram(dist, 3)
+        assert is_k_histogram(dist, 5)
+
+    def test_non_member(self):
+        assert not is_k_histogram(families.linear_ramp(20), 5)
+
+    def test_every_distribution_is_n_histogram(self):
+        dist = families.dirichlet_random(12, 1.0, 3)
+        assert is_k_histogram(dist, 12)

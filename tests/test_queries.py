@@ -1,0 +1,133 @@
+"""Tests for repro.queries (selectivity estimation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.errors import InvalidParameterError
+from repro.histograms.intervals import Interval
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+from repro.queries.evaluate import evaluate_estimator
+from repro.queries.selectivity import SelectivityEstimator, true_selectivity
+from repro.queries.workload import (
+    mixed_workload,
+    point_queries,
+    random_ranges,
+    short_ranges,
+)
+
+
+class TestTrueSelectivity:
+    def test_full_domain(self):
+        assert true_selectivity(families.uniform(16), Interval(0, 16)) == pytest.approx(1.0)
+
+    def test_subrange(self):
+        assert true_selectivity(families.uniform(16), Interval(4, 8)) == pytest.approx(0.25)
+
+
+class TestSelectivityEstimator:
+    def test_exact_on_matching_histogram(self):
+        hist = TilingHistogram(16, [0, 8, 16], [0.05, 0.075])
+        est = SelectivityEstimator(hist)
+        assert est.estimate(Interval(0, 8)) == pytest.approx(0.4)
+        assert est.estimate(Interval(4, 12)) == pytest.approx(0.5)
+
+    def test_accepts_priority_histogram(self):
+        hist = PriorityHistogram(16)
+        hist.add(Interval(0, 16), 1 / 16)
+        est = SelectivityEstimator(hist)
+        assert est.estimate(Interval(0, 4)) == pytest.approx(0.25)
+
+    def test_rejects_non_histogram(self):
+        with pytest.raises(TypeError):
+            SelectivityEstimator(np.ones(4) / 4)
+
+    def test_estimate_many(self):
+        est = SelectivityEstimator(TilingHistogram.uniform(16))
+        out = est.estimate_many([Interval(0, 8), Interval(0, 4)])
+        assert np.allclose(out, [0.5, 0.25])
+
+    def test_summary_size(self):
+        est = SelectivityEstimator(TilingHistogram(16, [0, 4, 16], [0.1, 0.05]))
+        assert est.summary_size == 2
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize(
+        "factory", [random_ranges, point_queries, mixed_workload]
+    )
+    def test_queries_inside_domain(self, factory, rng):
+        for q in factory(64, 50, rng):
+            assert 0 <= q.start < q.stop <= 64
+
+    def test_short_ranges_width(self, rng):
+        for q in short_ranges(64, 20, width=5, rng=rng):
+            assert q.length == 5
+
+    def test_short_ranges_default_width(self, rng):
+        queries = short_ranges(64, 20, rng=rng)
+        assert all(q.length == 2 for q in queries)
+
+    def test_point_queries_are_singletons(self, rng):
+        assert all(q.length == 1 for q in point_queries(64, 20, rng))
+
+    def test_counts(self, rng):
+        assert len(mixed_workload(64, 31, rng)) == 31
+        assert len(random_ranges(64, 0, rng)) == 0
+
+    def test_deterministic_given_seed(self):
+        assert random_ranges(64, 10, 3) == random_ranges(64, 10, 3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_ranges(0, 5)
+        with pytest.raises(InvalidParameterError):
+            short_ranges(64, 5, width=65)
+
+
+class TestEvaluateEstimator:
+    def test_perfect_histogram_scores_zero(self, rng):
+        dist = families.random_tiling_histogram(64, 4, rng)
+        hist = TilingHistogram.from_pmf(dist.pmf)
+        report = evaluate_estimator(
+            SelectivityEstimator(hist), dist, mixed_workload(64, 60, rng)
+        )
+        assert report.mean_absolute == pytest.approx(0.0, abs=1e-12)
+        assert report.max_absolute == pytest.approx(0.0, abs=1e-12)
+
+    def test_better_summary_scores_better(self, rng):
+        """v-optimal beats equi-width on skewed data."""
+        from repro.baselines.equiwidth import equiwidth_from_pmf
+        from repro.baselines.voptimal import voptimal_histogram
+
+        dist = families.zipf(256, 1.2)
+        workload = mixed_workload(256, 150, rng)
+        good = evaluate_estimator(
+            SelectivityEstimator(voptimal_histogram(dist.pmf, 8)), dist, workload
+        )
+        bad = evaluate_estimator(
+            SelectivityEstimator(equiwidth_from_pmf(dist.pmf, 8)), dist, workload
+        )
+        assert good.mean_absolute < bad.mean_absolute
+
+    def test_report_fields(self, rng):
+        dist = families.uniform(64)
+        report = evaluate_estimator(
+            SelectivityEstimator(TilingHistogram.uniform(64)),
+            dist,
+            point_queries(64, 10, rng),
+        )
+        assert report.num_queries == 10
+        assert report.summary_size == 1
+        assert report.rmse >= 0
+
+    def test_empty_workload_raises(self):
+        with pytest.raises(InvalidParameterError):
+            evaluate_estimator(
+                SelectivityEstimator(TilingHistogram.uniform(4)),
+                families.uniform(4),
+                [],
+            )

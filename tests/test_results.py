@@ -1,0 +1,110 @@
+"""Tests for the result dataclasses in repro.core.results."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import GreedyParams, TesterParams
+from repro.core.results import (
+    FlatnessQuery,
+    GreedyRound,
+    LearnResult,
+    TestResult,
+    UniformityResult,
+)
+from repro.histograms.intervals import Interval
+from repro.histograms.priority import PriorityHistogram
+from repro.histograms.tiling import TilingHistogram
+
+
+def make_learn_result(rounds):
+    return LearnResult(
+        histogram=TilingHistogram.uniform(8),
+        priority_histogram=PriorityHistogram(8),
+        params=GreedyParams(16, 3, 16, max(len(rounds), 1)),
+        rounds=rounds,
+        method="fast",
+        num_candidates=10,
+        samples_used=64,
+    )
+
+
+class TestLearnResult:
+    def test_estimated_cost_from_last_round(self):
+        rounds = [
+            GreedyRound(0, Interval(0, 4), 0.5, 0.9, 10),
+            GreedyRound(1, Interval(4, 8), 0.5, 0.4, 10),
+        ]
+        assert make_learn_result(rounds).estimated_cost == 0.4
+
+    def test_estimated_cost_nan_when_empty(self):
+        assert math.isnan(make_learn_result([]).estimated_cost)
+
+    def test_filled_histogram_defaults_none(self):
+        assert make_learn_result([]).filled_histogram is None
+
+    def test_round_fields(self):
+        r = GreedyRound(3, Interval(1, 5), 0.25, 0.1, 99)
+        assert r.round_index == 3
+        assert r.chosen.length == 4
+        assert r.candidates_evaluated == 99
+
+
+class TestTestResult:
+    def test_query_count(self):
+        queries = [
+            FlatnessQuery(Interval(0, 4), True, "collision-bound", 0.2, 0.3),
+            FlatnessQuery(Interval(0, 8), False, "rejected", 0.5, 0.3),
+        ]
+        result = TestResult(
+            accepted=False,
+            norm="l1",
+            k=2,
+            epsilon=0.25,
+            partition=[Interval(0, 4)],
+            queries=queries,
+            params=TesterParams(3, 16),
+            samples_used=48,
+        )
+        assert result.num_flatness_queries == 2
+
+    def test_count_rejections_helper(self):
+        from repro.core.tester import count_rejections
+
+        queries = [
+            FlatnessQuery(Interval(0, 4), True, "light-weight", None, None),
+            FlatnessQuery(Interval(0, 8), False, "rejected", 0.5, 0.3),
+            FlatnessQuery(Interval(4, 8), False, "rejected", 0.6, 0.3),
+        ]
+        result = TestResult(
+            accepted=False,
+            norm="l2",
+            k=2,
+            epsilon=0.25,
+            partition=[],
+            queries=queries,
+            params=TesterParams(3, 16),
+            samples_used=48,
+        )
+        assert count_rejections(result) == 2
+
+
+class TestUniformityResult:
+    def test_fields(self):
+        result = UniformityResult(
+            accepted=True,
+            statistic=0.001,
+            threshold=0.002,
+            epsilon=0.25,
+            samples_used=100,
+            collisions=5,
+        )
+        assert result.accepted
+        assert result.collisions == 5
+
+    def test_frozen(self):
+        result = UniformityResult(True, 0.1, 0.2, 0.25, 10)
+        with pytest.raises(AttributeError):
+            result.accepted = False

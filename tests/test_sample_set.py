@@ -1,0 +1,87 @@
+"""Tests for repro.samples.sample_set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.samples.sample_set import SampleSet
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = SampleSet(np.array([3, 1, 2, 1]), 5)
+        assert s.size == 4 and s.n == 5
+        assert np.array_equal(s.sorted_values, [1, 1, 2, 3])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SampleSet(np.array([5]), 5)
+        with pytest.raises(InvalidParameterError):
+            SampleSet(np.array([-1]), 5)
+
+    def test_2d_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SampleSet(np.ones((2, 2), dtype=np.int64), 5)
+
+    def test_empty_ok(self):
+        assert SampleSet(np.array([], dtype=np.int64), 5).size == 0
+
+    def test_unique_values(self):
+        s = SampleSet(np.array([3, 1, 1, 3]), 5)
+        assert np.array_equal(s.unique_values(), [1, 3])
+
+
+class TestCounting:
+    def test_scalar_count(self):
+        s = SampleSet(np.array([0, 1, 1, 2, 4]), 5)
+        assert s.count(1, 3) == 3
+        assert s.count(0, 5) == 5
+        assert s.count(3, 4) == 0
+
+    def test_vector_count(self):
+        s = SampleSet(np.array([0, 1, 1, 2, 4]), 5)
+        counts = s.count(np.array([0, 1]), np.array([2, 5]))
+        assert np.array_equal(counts, [3, 4])
+
+    def test_fraction(self):
+        s = SampleSet(np.array([0, 1, 1, 2]), 5)
+        assert s.fraction(1, 2) == pytest.approx(0.5)
+
+    def test_fraction_empty_set_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SampleSet(np.array([], dtype=np.int64), 5).fraction(0, 5)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=19), max_size=60),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_count_matches_naive(self, values, a, b):
+        a, b = min(a, b), max(a, b)
+        s = SampleSet(np.array(values, dtype=np.int64), 20)
+        naive = sum(1 for v in values if a <= v < b)
+        assert s.count(a, b) == naive
+
+
+class TestGridPrefix:
+    def test_prefix_consistency(self):
+        s = SampleSet(np.array([0, 1, 1, 2, 4, 4]), 6)
+        grid = np.array([0, 2, 4, 6])
+        prefix = s.count_prefix_on_grid(grid)
+        # count over [grid[i], grid[j]) equals prefix difference
+        assert prefix[1] - prefix[0] == s.count(0, 2)
+        assert prefix[2] - prefix[1] == s.count(2, 4)
+        assert prefix[3] - prefix[2] == s.count(4, 6)
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=40))
+    def test_prefix_matches_count_everywhere(self, values):
+        s = SampleSet(np.array(values, dtype=np.int64), 16)
+        grid = np.arange(17)
+        prefix = s.count_prefix_on_grid(grid)
+        for a in range(0, 17, 3):
+            for b in range(a, 17, 3):
+                assert prefix[b] - prefix[a] == s.count(a, b)

@@ -1,0 +1,129 @@
+"""Tests for repro.streaming (reservoir + maintainer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import families
+from repro.distributions.distances import l1_distance
+from repro.errors import InvalidParameterError
+from repro.streaming.maintainer import StreamingHistogramMaintainer
+from repro.streaming.reservoir import ReservoirSampler
+
+
+class TestReservoir:
+    def test_fills_to_capacity(self):
+        res = ReservoirSampler(4, rng=1)
+        res.update_many(np.arange(3))
+        assert res.size == 3 and res.seen == 3
+        res.update_many(np.arange(10))
+        assert res.size == 4 and res.seen == 13
+
+    def test_small_stream_kept_exactly(self):
+        res = ReservoirSampler(10, rng=1)
+        res.update_many(np.array([5, 7, 9]))
+        assert sorted(res.contents()) == [5, 7, 9]
+
+    def test_uniformity_of_retention(self):
+        """Algorithm R invariant: every item retained w.p. capacity/seen."""
+        capacity, stream_len, trials = 8, 64, 600
+        counts = np.zeros(stream_len)
+        for t in range(trials):
+            res = ReservoirSampler(capacity, rng=t)
+            res.update_many(np.arange(stream_len))
+            counts[res.contents()] += 1
+        expected = capacity / stream_len
+        rates = counts / trials
+        assert np.abs(rates - expected).max() < 0.08
+
+    def test_sample_with_replacement(self):
+        res = ReservoirSampler(4, rng=1)
+        res.update_many(np.array([3, 3, 3, 3]))
+        assert np.all(res.sample(10, rng=2) == 3)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ReservoirSampler(4).sample(1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            ReservoirSampler(0)
+
+
+class TestMaintainer:
+    def test_summarises_stationary_stream(self, rng):
+        dist = families.random_tiling_histogram(128, 4, 3, min_piece=8)
+        maintainer = StreamingHistogramMaintainer(
+            128, 4, refresh_every=2_000, reservoir_capacity=2_000, rng=5
+        )
+        maintainer.update_many(dist.sample(10_000, rng))
+        summary = maintainer.histogram
+        assert l1_distance(dist, summary) < 0.25
+
+    def test_adapts_to_drift(self, rng):
+        """After a distribution shift, rebuilds track the new regime."""
+        before = families.two_level(128, heavy_start=0, heavy_length=16)
+        after = families.two_level(128, heavy_start=96, heavy_length=16)
+        maintainer = StreamingHistogramMaintainer(
+            128, 4, refresh_every=1_000, reservoir_capacity=1_000, rng=6
+        )
+        maintainer.update_many(before.sample(3_000, rng))
+        _ = maintainer.histogram
+        # Flood with the new regime: the reservoir turns over.
+        maintainer.update_many(after.sample(30_000, rng))
+        summary = maintainer.histogram
+        assert summary.range_mass(__import__("repro").Interval(96, 112)) > 0.5
+
+    def test_windowed_mode_adapts_faster(self, rng):
+        """forget_after_rebuild bounds staleness by one refresh window."""
+        before = families.two_level(128, heavy_start=0, heavy_length=16)
+        after = families.two_level(128, heavy_start=96, heavy_length=16)
+        windowed = StreamingHistogramMaintainer(
+            128, 4, refresh_every=1_000, reservoir_capacity=1_000,
+            forget_after_rebuild=True, rng=6,
+        )
+        windowed.update_many(before.sample(3_000, rng))
+        _ = windowed.histogram
+        windowed.update_many(after.sample(2_000, rng))
+        summary = windowed.histogram
+        assert summary.range_mass(__import__("repro").Interval(96, 112)) > 0.5
+
+    def test_lazy_rebuild_counting(self, rng):
+        dist = families.uniform(64)
+        maintainer = StreamingHistogramMaintainer(
+            64, 2, refresh_every=500, reservoir_capacity=500, rng=7
+        )
+        maintainer.update_many(dist.sample(500, rng))
+        assert maintainer.rebuilds == 0  # lazy: nothing rebuilt yet
+        _ = maintainer.histogram
+        assert maintainer.rebuilds == 1
+        _ = maintainer.histogram
+        assert maintainer.rebuilds == 1  # cached between refreshes
+        maintainer.update_many(dist.sample(500, rng))
+        _ = maintainer.histogram
+        assert maintainer.rebuilds == 2
+
+    def test_empty_stream_raises(self):
+        maintainer = StreamingHistogramMaintainer(64, 2, rng=8)
+        with pytest.raises(InvalidParameterError):
+            _ = maintainer.histogram
+
+    def test_out_of_domain_update_raises(self):
+        maintainer = StreamingHistogramMaintainer(64, 2, rng=9)
+        with pytest.raises(InvalidParameterError):
+            maintainer.update(64)
+        with pytest.raises(InvalidParameterError):
+            maintainer.update_many(np.array([-1]))
+
+    def test_items_seen(self, rng):
+        maintainer = StreamingHistogramMaintainer(64, 2, rng=10)
+        maintainer.update(5)
+        maintainer.update_many(np.array([1, 2, 3]))
+        assert maintainer.items_seen == 4
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingHistogramMaintainer(0, 2)
+        with pytest.raises(InvalidParameterError):
+            StreamingHistogramMaintainer(64, 2, refresh_every=0)

@@ -1,0 +1,112 @@
+"""Property-based invariants of the Algorithm 2 partition search.
+
+The binary-search partitioner is exercised with synthetic oracles
+(deterministic functions of the interval), decoupling its control flow
+from sampling noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flatness import FlatnessResult
+from repro.core.tester import flat_partition
+
+
+def oracle_accept_all(start, stop):
+    return FlatnessResult(True, "exact", None, None)
+
+
+def oracle_max_length(max_len):
+    def oracle(start, stop):
+        return FlatnessResult(stop - start <= max_len, "exact", None, None)
+
+    return oracle
+
+
+def oracle_boundaries(cuts):
+    """Flat iff the interval crosses no cut (an exact histogram oracle)."""
+
+    def oracle(start, stop):
+        crossed = any(start < c < stop for c in cuts)
+        return FlatnessResult(not crossed, "exact", None, None)
+
+    return oracle
+
+
+class TestAcceptAll:
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_single_interval_suffices(self, n):
+        partition, queries = flat_partition(n, 1, oracle_accept_all)
+        assert len(partition) == 1
+        assert partition[0].start == 0 and partition[0].stop == n
+        # binary search costs ceil(log2(n)) + O(1) queries
+        assert len(queries) <= math.ceil(math.log2(n)) + 2
+
+
+class TestMaxLengthOracle:
+    @given(
+        st.integers(min_value=4, max_value=500),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_greedy_takes_maximal_pieces(self, n, max_len):
+        """With a length-threshold oracle each committed piece is as long
+        as allowed, so ceil(n / max_len) pieces cover the domain."""
+        needed = math.ceil(n / max_len)
+        partition, _ = flat_partition(n, needed, oracle_max_length(max_len))
+        assert partition[-1].stop == n
+        assert len(partition) == needed
+        assert all(piece.length <= max_len for piece in partition)
+
+    @given(
+        st.integers(min_value=16, max_value=500),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_insufficient_budget_fails(self, n, max_len):
+        needed = math.ceil(n / max_len)
+        partition, _ = flat_partition(n, needed - 1, oracle_max_length(max_len))
+        assert not partition or partition[-1].stop < n
+
+
+class TestHistogramOracle:
+    @given(
+        st.integers(min_value=8, max_value=300),
+        st.sets(st.integers(min_value=1, max_value=299), max_size=6),
+    )
+    def test_recovers_exact_boundaries(self, n, raw_cuts):
+        cuts = sorted(c for c in raw_cuts if c < n)
+        partition, _ = flat_partition(n, len(cuts) + 1, oracle_boundaries(cuts))
+        assert partition[-1].stop == n
+        assert len(partition) == len(cuts) + 1
+        found = [piece.stop for piece in partition[:-1]]
+        assert found == cuts
+
+    @given(
+        st.integers(min_value=8, max_value=300),
+        st.sets(st.integers(min_value=1, max_value=299), min_size=2, max_size=6),
+    )
+    def test_partition_contiguous_even_on_failure(self, n, raw_cuts):
+        cuts = sorted(c for c in raw_cuts if c < n)
+        if not cuts:
+            return
+        partition, _ = flat_partition(n, 1, oracle_boundaries(cuts))
+        cursor = 0
+        for piece in partition:
+            assert piece.start == cursor
+            cursor = piece.stop
+
+
+class TestQueryBudget:
+    @given(
+        st.integers(min_value=8, max_value=2000),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_query_count_k_log_n(self, n, k):
+        """Algorithm 2 makes O(k log n) flatness queries."""
+        cuts = [i * n // k for i in range(1, k)]
+        cuts = sorted(set(c for c in cuts if 0 < c < n))
+        _, queries = flat_partition(n, len(cuts) + 1, oracle_boundaries(cuts))
+        assert len(queries) <= (len(cuts) + 1) * (math.ceil(math.log2(n)) + 2)

@@ -1,0 +1,176 @@
+"""Tests for repro.histograms.tiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidHistogramError
+from repro.histograms.intervals import Interval
+from repro.histograms.tiling import TilingHistogram
+
+
+@st.composite
+def tilings(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    cuts = draw(
+        st.lists(st.integers(min_value=1, max_value=max(n - 1, 1)), max_size=6)
+    )
+    boundaries = sorted({0, n, *[c for c in cuts if c < n]})
+    values = [
+        draw(st.floats(min_value=0, max_value=1, allow_nan=False))
+        for _ in range(len(boundaries) - 1)
+    ]
+    return TilingHistogram(n, boundaries, values)
+
+
+class TestConstruction:
+    def test_basic(self):
+        hist = TilingHistogram(10, [0, 4, 10], [0.1, 0.1 / 6])
+        assert hist.n == 10 and hist.num_pieces == 2
+
+    def test_uniform(self):
+        hist = TilingHistogram.uniform(8)
+        assert hist.num_pieces == 1
+        assert hist.is_distribution()
+
+    def test_bad_boundaries_raise(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram(10, [0, 5, 5, 10], [0.1, 0.0, 0.0])
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram(10, [1, 10], [0.1])
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram(10, [0, 9], [0.1])
+
+    def test_negative_value_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram(4, [0, 4], [-0.1])
+
+    def test_wrong_value_count_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram(4, [0, 2, 4], [0.25])
+
+    def test_from_pieces(self):
+        hist = TilingHistogram.from_pieces(
+            6, [(Interval(3, 6), 0.1), (Interval(0, 3), 0.2)]
+        )
+        assert np.array_equal(hist.boundaries, [0, 3, 6])
+        assert np.allclose(hist.values, [0.2, 0.1])
+
+    def test_from_pieces_gap_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram.from_pieces(6, [(Interval(0, 2), 0.1), (Interval(3, 6), 0.1)])
+
+    def test_from_pieces_overlap_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram.from_pieces(6, [(Interval(0, 4), 0.1), (Interval(3, 6), 0.1)])
+
+    def test_from_pieces_short_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram.from_pieces(6, [(Interval(0, 4), 0.1)])
+
+    def test_from_pmf_merges_runs(self):
+        pmf = np.array([0.1, 0.1, 0.2, 0.2, 0.4])
+        hist = TilingHistogram.from_pmf(pmf)
+        assert hist.num_pieces == 3
+        assert np.allclose(hist.to_pmf(), pmf)
+
+
+class TestEvaluation:
+    def test_value_at_scalar(self):
+        hist = TilingHistogram(6, [0, 2, 6], [0.3, 0.1])
+        assert hist.value_at(0) == 0.3
+        assert hist.value_at(1) == 0.3
+        assert hist.value_at(2) == 0.1
+        assert hist.value_at(5) == 0.1
+
+    def test_value_at_array(self):
+        hist = TilingHistogram(6, [0, 2, 6], [0.3, 0.1])
+        assert np.allclose(hist.value_at(np.array([0, 2, 5])), [0.3, 0.1, 0.1])
+
+    def test_value_at_out_of_domain_raises(self):
+        hist = TilingHistogram.uniform(6)
+        with pytest.raises(InvalidHistogramError):
+            hist.value_at(6)
+        with pytest.raises(InvalidHistogramError):
+            hist.value_at(-1)
+
+    def test_to_pmf_roundtrip(self):
+        hist = TilingHistogram(5, [0, 2, 5], [0.2, 0.2])
+        assert np.allclose(hist.to_pmf(), [0.2, 0.2, 0.2, 0.2, 0.2])
+
+    def test_total_mass(self):
+        hist = TilingHistogram(10, [0, 5, 10], [0.1, 0.1])
+        assert hist.total_mass() == pytest.approx(1.0)
+        assert hist.is_distribution()
+
+    def test_normalized(self):
+        hist = TilingHistogram(4, [0, 4], [0.5])  # mass 2
+        assert hist.normalized().is_distribution()
+
+    def test_normalize_zero_mass_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram(4, [0, 4], [0.0]).normalized()
+
+    def test_range_mass(self):
+        hist = TilingHistogram(10, [0, 5, 10], [0.1, 0.1])
+        assert hist.range_mass(Interval(0, 10)) == pytest.approx(1.0)
+        assert hist.range_mass(Interval(2, 7)) == pytest.approx(0.5)
+
+    def test_range_mass_beyond_domain_raises(self):
+        with pytest.raises(InvalidHistogramError):
+            TilingHistogram.uniform(4).range_mass(Interval(0, 5))
+
+
+class TestStructure:
+    def test_intervals_iteration(self):
+        hist = TilingHistogram(6, [0, 2, 6], [0.3, 0.1])
+        assert list(hist.intervals()) == [Interval(0, 2), Interval(2, 6)]
+
+    def test_pieces_iteration(self):
+        hist = TilingHistogram(6, [0, 2, 6], [0.3, 0.1])
+        pieces = list(hist.pieces())
+        assert pieces[0] == (Interval(0, 2), 0.3)
+
+    def test_canonical_merges_equal_values(self):
+        hist = TilingHistogram(6, [0, 2, 4, 6], [0.1, 0.1, 0.2])
+        canon = hist.canonical()
+        assert canon.num_pieces == 2
+        assert np.allclose(canon.to_pmf(), hist.to_pmf())
+
+    def test_equality_and_hash(self):
+        a = TilingHistogram(4, [0, 2, 4], [0.3, 0.2])
+        b = TilingHistogram(4, [0, 2, 4], [0.3, 0.2])
+        assert a == b and hash(a) == hash(b)
+        assert a != TilingHistogram(4, [0, 4], [0.25])
+
+    def test_boundaries_read_only(self):
+        hist = TilingHistogram.uniform(4)
+        with pytest.raises(ValueError):
+            hist.boundaries[0] = 1
+
+
+class TestTilingProperties:
+    @given(tilings())
+    def test_pmf_roundtrip_preserves_values(self, hist):
+        rebuilt = TilingHistogram.from_pmf(hist.to_pmf())
+        assert np.allclose(rebuilt.to_pmf(), hist.to_pmf())
+        assert rebuilt.num_pieces <= hist.num_pieces
+
+    @given(tilings())
+    def test_range_mass_matches_pmf_sum(self, hist):
+        pmf = hist.to_pmf()
+        for start in range(0, hist.n, max(hist.n // 4, 1)):
+            for stop in range(start + 1, hist.n + 1, max(hist.n // 4, 1)):
+                expected = pmf[start:stop].sum()
+                assert hist.range_mass(Interval(start, stop)) == pytest.approx(
+                    expected, abs=1e-12
+                )
+
+    @given(tilings())
+    def test_canonical_is_minimal(self, hist):
+        canon = hist.canonical()
+        values = canon.values
+        assert not np.any(values[:-1] == values[1:])

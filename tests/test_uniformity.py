@@ -1,0 +1,84 @@
+"""Tests for repro.core.uniformity ([GR00] collision tester)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+# Alias the paper-named ``test*`` function so pytest does not collect it.
+from repro.core.uniformity import test_uniformity as uniformity_test
+from repro.core.uniformity import uniformity_sample_size
+from repro.distributions import families
+from repro.errors import InvalidParameterError
+
+
+class TestSampleSize:
+    def test_sqrt_n_scaling(self):
+        small = uniformity_sample_size(100, 0.25)
+        large = uniformity_sample_size(10_000, 0.25)
+        assert large == pytest.approx(10 * small, rel=0.05)
+
+    def test_epsilon_scaling(self):
+        assert uniformity_sample_size(100, 0.125) == pytest.approx(
+            4 * uniformity_sample_size(100, 0.25), rel=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            uniformity_sample_size(0, 0.25)
+        with pytest.raises(InvalidParameterError):
+            uniformity_sample_size(100, 2.0)
+
+
+class TestUniformityTester:
+    def test_accepts_uniform(self):
+        result = uniformity_test(families.uniform(1024), 1024, 0.25, rng=3)
+        assert result.accepted
+
+    def test_rejects_half_support(self):
+        """The classical hard instance: uniform on a random half."""
+        pmf = np.zeros(1024)
+        rng = np.random.default_rng(5)
+        support = rng.choice(1024, size=512, replace=False)
+        pmf[support] = 1 / 512
+        from repro.distributions.base import DiscreteDistribution
+
+        result = uniformity_test(DiscreteDistribution(pmf), 1024, 0.5, rng=4)
+        assert not result.accepted
+
+    def test_rejects_zipf(self):
+        result = uniformity_test(families.zipf(1024, 1.0), 1024, 0.3, rng=6)
+        assert not result.accepted
+
+    def test_statistic_near_inverse_n(self):
+        result = uniformity_test(families.uniform(512), 512, 0.25, rng=7)
+        assert result.statistic == pytest.approx(1 / 512, rel=0.3)
+
+    def test_threshold_formula(self):
+        result = uniformity_test(families.uniform(512), 512, 0.2, rng=8)
+        assert result.threshold == pytest.approx((1 + 0.2**2 / 2) / 512)
+
+    def test_acceptance_rate(self):
+        accepts = sum(
+            uniformity_test(families.uniform(256), 256, 0.3, rng=10 + i).accepted
+            for i in range(10)
+        )
+        assert accepts >= 7
+
+    def test_rejection_rate(self):
+        saw = families.sawtooth(256, low=0.0, high=2.0)
+        rejects = sum(
+            not uniformity_test(saw, 256, 0.3, rng=30 + i).accepted
+            for i in range(10)
+        )
+        assert rejects >= 7
+
+    def test_scale_validation(self):
+        with pytest.raises(InvalidParameterError):
+            uniformity_test(families.uniform(16), 16, 0.25, scale=2.0)
+
+    def test_metadata(self):
+        result = uniformity_test(families.uniform(256), 256, 0.25, rng=9)
+        assert result.samples_used >= 16
+        assert result.collisions >= 0
+        assert result.epsilon == 0.25

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.prefix."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.prefix import interval_sums, pairs_count, prefix_sums
+
+
+class TestPrefixSums:
+    def test_basic(self):
+        assert np.array_equal(prefix_sums([1, 2, 3]), [0, 1, 3, 6])
+
+    def test_empty(self):
+        assert np.array_equal(prefix_sums(np.array([])), [0])
+
+    def test_floats(self):
+        result = prefix_sums([0.5, 0.25])
+        assert np.allclose(result, [0.0, 0.5, 0.75])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+    def test_interval_sum_matches_slice_sum(self, values):
+        prefix = prefix_sums(np.array(values, dtype=np.int64))
+        n = len(values)
+        for a in range(n + 1):
+            for b in range(a, n + 1):
+                assert prefix[b] - prefix[a] == sum(values[a:b])
+
+
+class TestIntervalSums:
+    def test_vectorised(self):
+        prefix = prefix_sums([1, 2, 3, 4])
+        starts = np.array([0, 1, 2])
+        stops = np.array([4, 3, 2])
+        assert np.array_equal(interval_sums(prefix, starts, stops), [10, 5, 0])
+
+
+class TestPairsCount:
+    def test_scalar(self):
+        assert pairs_count(0) == 0
+        assert pairs_count(1) == 0
+        assert pairs_count(2) == 1
+        assert pairs_count(5) == 10
+
+    def test_array(self):
+        assert np.array_equal(pairs_count(np.array([0, 1, 2, 3])), [0, 0, 1, 3])
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_comb(self, x):
+        import math
+
+        assert pairs_count(x) == math.comb(x, 2)
+
+    def test_no_overflow_for_large_counts(self):
+        # 10^6 samples -> ~5 * 10^11 pairs; must stay exact in int64.
+        assert pairs_count(1_000_000) == 499_999_500_000

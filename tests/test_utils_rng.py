@@ -1,0 +1,56 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_returns_generator_unchanged(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_seed_is_deterministic(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).random(5)
+        b = as_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(7, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(7, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_children_independent(self):
+        children = spawn_rngs(7, 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert not np.array_equal(a, b)
+
+    def test_children_deterministic_given_seed(self):
+        a = spawn_rngs(7, 3)[2].random(4)
+        b = spawn_rngs(7, 3)[2].random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawning_twice_from_same_parent_differs(self):
+        parent = np.random.default_rng(7)
+        first = spawn_rngs(parent, 1)[0].random(4)
+        second = spawn_rngs(parent, 1)[0].random(4)
+        assert not np.array_equal(first, second)

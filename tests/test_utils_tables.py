@@ -1,0 +1,38 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_markdown_table
+
+
+class TestFormatMarkdownTable:
+    def test_basic_shape(self):
+        table = format_markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_float_formatting(self):
+        table = format_markdown_table(["x"], [[0.123456]], float_format=".2f")
+        assert "0.12" in table
+
+    def test_bool_rendering(self):
+        table = format_markdown_table(["ok"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        table = format_markdown_table(["name", "v"], [["long-name", 1], ["s", 22]])
+        lines = table.splitlines()
+        # All rows render at equal width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_rows(self):
+        table = format_markdown_table(["a"], [])
+        assert table.count("\n") == 1

@@ -1,0 +1,26 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first

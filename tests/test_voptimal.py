@@ -1,0 +1,149 @@
+"""Tests for repro.baselines.voptimal (the exact DP)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.voptimal import (
+    l1_piece_cost_matrix,
+    voptimal_cost,
+    voptimal_from_samples,
+    voptimal_histogram,
+)
+from repro.errors import InvalidParameterError
+
+
+def brute_force_cost(pmf: np.ndarray, k: int, norm: str) -> float:
+    """Enumerate all partitions into exactly <= k non-empty pieces."""
+    n = pmf.shape[0]
+    best = np.inf
+    for pieces in range(1, k + 1):
+        for cuts in itertools.combinations(range(1, n), pieces - 1):
+            bounds = [0, *cuts, n]
+            cost = 0.0
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                seg = pmf[a:b]
+                if norm == "l2":
+                    cost += ((seg - seg.mean()) ** 2).sum()
+                else:
+                    cost += np.abs(seg - np.median(seg)).sum()
+            best = min(best, cost)
+    return best
+
+
+class TestL2DP:
+    def test_histogram_input_has_zero_cost(self):
+        pmf = np.repeat([0.05, 0.15], [10, 5])
+        pmf = pmf / pmf.sum()
+        assert voptimal_cost(pmf, 2, norm="l2") == pytest.approx(0.0, abs=1e-15)
+
+    def test_k_equals_n_is_exact(self):
+        pmf = np.array([0.1, 0.2, 0.3, 0.4])
+        assert voptimal_cost(pmf, 4, norm="l2") == pytest.approx(0.0, abs=1e-15)
+
+    def test_k1_is_variance_around_mean(self):
+        pmf = np.array([0.1, 0.2, 0.3, 0.4])
+        expected = ((pmf - pmf.mean()) ** 2).sum()
+        assert voptimal_cost(pmf, 1, norm="l2") == pytest.approx(expected)
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(3)
+        pmf = rng.dirichlet(np.ones(20))
+        costs = [voptimal_cost(pmf, k, norm="l2") for k in range(1, 8)]
+        assert all(a >= b - 1e-15 for a, b in zip(costs, costs[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1, allow_nan=False), min_size=3, max_size=9),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_matches_brute_force_l2(self, weights, k):
+        pmf = np.array(weights)
+        pmf = pmf / pmf.sum()
+        k = min(k, pmf.shape[0])
+        assert voptimal_cost(pmf, k, norm="l2") == pytest.approx(
+            brute_force_cost(pmf, k, "l2"), abs=1e-10
+        )
+
+    def test_histogram_output_matches_cost(self):
+        rng = np.random.default_rng(5)
+        pmf = rng.dirichlet(np.ones(24))
+        hist = voptimal_histogram(pmf, 4, norm="l2")
+        realised = ((pmf - hist.to_pmf()) ** 2).sum()
+        assert realised == pytest.approx(voptimal_cost(pmf, 4, norm="l2"), abs=1e-12)
+
+    def test_l2_optimum_is_distribution(self):
+        """Mean-fitted optimal histogram always sums to 1."""
+        rng = np.random.default_rng(6)
+        pmf = rng.dirichlet(np.ones(30))
+        assert voptimal_histogram(pmf, 5).total_mass() == pytest.approx(1.0)
+
+    def test_recovers_true_boundaries(self):
+        pmf = np.repeat([0.01, 0.06], [20, 5])
+        pmf = pmf / pmf.sum()
+        hist = voptimal_histogram(pmf, 2, norm="l2")
+        assert list(hist.boundaries) == [0, 20, 25]
+
+
+class TestL1DP:
+    def test_cost_matrix_matches_naive(self):
+        rng = np.random.default_rng(7)
+        pmf = rng.random(12)
+        matrix = l1_piece_cost_matrix(pmf)
+        for s in range(12):
+            for t in range(s + 1, 13):
+                seg = pmf[s:t]
+                expected = np.abs(seg - np.median(seg)).sum()
+                assert matrix[s, t] == pytest.approx(expected, abs=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1, allow_nan=False), min_size=3, max_size=8),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_brute_force_l1(self, weights, k):
+        pmf = np.array(weights)
+        pmf = pmf / pmf.sum()
+        k = min(k, pmf.shape[0])
+        assert voptimal_cost(pmf, k, norm="l1") == pytest.approx(
+            brute_force_cost(pmf, k, "l1"), abs=1e-10
+        )
+
+    def test_histogram_input_has_zero_cost(self):
+        pmf = np.repeat([0.02, 0.12], [15, 5])
+        pmf = pmf / pmf.sum()
+        assert voptimal_cost(pmf, 2, norm="l1") == pytest.approx(0.0, abs=1e-14)
+
+
+class TestValidationAndSamples:
+    def test_k_too_large_raises(self):
+        with pytest.raises(InvalidParameterError):
+            voptimal_cost(np.ones(4) / 4, 5)
+
+    def test_k_zero_raises(self):
+        with pytest.raises(InvalidParameterError):
+            voptimal_cost(np.ones(4) / 4, 0)
+
+    def test_bad_norm_raises(self):
+        with pytest.raises(InvalidParameterError):
+            voptimal_cost(np.ones(4) / 4, 2, norm="linf")
+
+    def test_empty_pmf_raises(self):
+        with pytest.raises(InvalidParameterError):
+            voptimal_cost(np.array([]), 1)
+
+    def test_from_samples_recovers_structure(self, rng):
+        pmf = np.repeat([0.002, 0.018], [50, 50])
+        pmf = pmf / pmf.sum()
+        samples = rng.choice(100, size=20_000, p=pmf)
+        hist = voptimal_from_samples(samples, 100, 2)
+        assert abs(int(hist.boundaries[1]) - 50) <= 2
+
+    def test_from_samples_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            voptimal_from_samples(np.array([], dtype=np.int64), 10, 2)
