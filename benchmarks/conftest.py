@@ -1,7 +1,7 @@
 """Shared benchmark configuration.
 
-Every ``bench_*`` file regenerates one experiment (table or figure) from
-DESIGN.md section 6: the benchmarked callable *is* the experiment runner
+Every ``bench_*`` file regenerates one experiment (table or figure) of
+README.md ("Experiments"): the benchmarked callable *is* the experiment runner
 (quick grids), so ``pytest benchmarks/ --benchmark-only`` both times the
 pipelines and prints each regenerated table; micro-benchmarks of the hot
 kernels accompany them.

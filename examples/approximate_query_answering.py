@@ -17,9 +17,9 @@ the *same* sample budget and compare their selectivity errors:
 
 from repro import (
     EmpiricalDistribution,
+    HistogramSession,
     equidepth_from_samples,
     equiwidth_from_samples,
-    learn_histogram,
     voptimal_from_samples,
 )
 from repro.core.params import GreedyParams
@@ -38,21 +38,21 @@ def main() -> None:
     workload = mixed_workload(n, 300, rng=2)
     samples = column.sample(sample_budget, rng=3)
 
-    # filled_histogram: gaps the l2 objective left at value 0 carry their
-    # estimated weight instead, which matters for range queries in the tail.
-    greedy = learn_histogram(
-        column,
-        n,
+    # filled=True (the default): gaps the l2 objective left at value 0
+    # carry their estimated weight instead, which matters for range
+    # queries in the tail.
+    session = HistogramSession(column, n, rng=3)
+    greedy = SelectivityEstimator.from_session(
+        session,
         k,
-        epsilon=0.25,
+        0.25,
         params=GreedyParams(
             weight_sample_size=sample_budget // 3,
             collision_sets=7,
             collision_set_size=sample_budget // 10,
             rounds=k,
         ),
-        rng=3,
-    ).filled_histogram
+    ).histogram
 
     summaries = {
         "greedy (this paper)": greedy,

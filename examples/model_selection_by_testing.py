@@ -10,16 +10,19 @@ paper's tester as a model-selection oracle: the smallest ``k`` for which
 "is it a tiling k-histogram?" accepts is a credible bucket count — found
 from samples only, in sub-linear time.  We then learn the histogram at
 that ``k`` and verify the fit.
+
+The whole pipeline runs through one :class:`repro.HistogramSession`: the
+per-k probes, the min-k search, and the final learn all share a single
+sample budget (the probes after the first draw nothing at all).
 """
 
 from repro import (
     EmpiricalDistribution,
+    HistogramSession,
     distance_to_k_histogram,
     l1_distance,
-    learn_histogram,
-    test_k_histogram_l1,
 )
-from repro.core.params import TesterParams
+from repro.core.params import GreedyParams, TesterParams
 from repro.datasets import sensor_readings_column
 
 
@@ -28,25 +31,38 @@ def main() -> None:
     column = EmpiricalDistribution(values, n)
     epsilon = 0.25
     params = TesterParams(num_sets=15, set_size=30_000)
+    session = HistogramSession(column, n, rng=10, test_budget=params)
 
     print(f"sensor column: 200000 rows over [0, {n}); searching for min k...\n")
     chosen_k = None
-    for k in range(1, 9):
-        verdict = test_k_histogram_l1(column, n, k, epsilon, params=params, rng=10 + k)
+    for verdict in session.test_many([(k, epsilon) for k in range(1, 9)], norm="l1"):
         marker = "ACCEPT" if verdict.accepted else "reject"
-        print(f"  k={k}: {marker}  (flat intervals found: {len(verdict.partition)})")
+        print(
+            f"  k={verdict.k}: {marker}  "
+            f"(flat intervals found: {len(verdict.partition)})"
+        )
         if verdict.accepted and chosen_k is None:
-            chosen_k = k
+            chosen_k = verdict.k
     if chosen_k is None:
         chosen_k = 8
         print("no k <= 8 accepted; falling back to k=8")
+    # The one-shot partition search reuses the cached sketch (zero extra
+    # samples); it is more conservative than the per-k probes because its
+    # light-interval threshold is calibrated at max_k.
+    search = session.min_k(epsilon, max_k=8)
+    print(f"\npartition search at max_k=8: needs {search.k} pieces")
+    print(f"(total samples drawn for all of the above: {session.samples_drawn})")
 
     truth_distance = distance_to_k_histogram(column, chosen_k, norm="l1")
     print(f"\nchosen k = {chosen_k}")
     print(f"ground-truth l1 distance of the column to {chosen_k}-histograms: "
           f"{truth_distance:.4f}")
 
-    learned = learn_histogram(column, n, chosen_k, epsilon, scale=0.05, rng=42)
+    learned = session.learn(
+        chosen_k,
+        epsilon,
+        params=GreedyParams.from_paper(n, chosen_k, epsilon, scale=0.05),
+    )
     summary = learned.filled_histogram
     print(
         f"learned a {summary.num_pieces}-piece summary from "

@@ -4,7 +4,10 @@ Runs in a few seconds::
 
     python examples/quickstart.py
 
-Walks through the paper's two primitives on a synthetic distribution:
+Walks through the paper's two primitives on a synthetic distribution,
+through the :class:`repro.HistogramSession` front door (one session per
+distribution: every operation after the first reuses its samples and
+sketches):
 
 1. *learning* — build a near-v-optimal histogram from samples alone
    (Theorem 2), and compare it against the exact DP optimum that needs
@@ -14,11 +17,9 @@ Walks through the paper's two primitives on a synthetic distribution:
 """
 
 from repro import (
-    DiscreteDistribution,
+    HistogramSession,
     distance_to_k_histogram,
     l2_distance,
-    learn_histogram,
-    test_k_histogram_l1,
     voptimal_histogram,
 )
 from repro.core.params import TesterParams
@@ -33,9 +34,8 @@ def main() -> None:
     sawtooth_dist = families.sawtooth(n)
 
     print("=== Learning (Theorem 2) ===")
-    learned = learn_histogram(
-        histogram_dist, n, k, epsilon, method="fast", scale=0.05, rng=0
-    )
+    session = HistogramSession(histogram_dist, n, rng=0, scale=0.05)
+    learned = session.learn(k, epsilon)
     optimal = voptimal_histogram(histogram_dist.pmf, k)
     print(f"samples used:        {learned.samples_used}")
     print(f"candidate intervals: {learned.num_candidates}")
@@ -46,8 +46,12 @@ def main() -> None:
 
     print("\n=== Testing (Theorem 4) ===")
     params = TesterParams(num_sets=15, set_size=30_000)
-    for name, dist in (("4-histogram", histogram_dist), ("sawtooth", sawtooth_dist)):
-        verdict = test_k_histogram_l1(dist, n, k, epsilon, params=params, rng=1)
+    sessions = (
+        ("4-histogram", histogram_dist, session),  # reuses the learning session
+        ("sawtooth", sawtooth_dist, HistogramSession(sawtooth_dist, n, rng=1)),
+    )
+    for name, dist, dist_session in sessions:
+        verdict = dist_session.test_l1(k, epsilon, params=params)
         true_distance = distance_to_k_histogram(dist, k, norm="l1")
         print(
             f"{name:12s} -> accepted={verdict.accepted!s:5s} "

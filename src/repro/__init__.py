@@ -8,6 +8,9 @@ A faithful, production-quality reproduction of
 
 Public surface (see README.md for a tour):
 
+* sessions:  :class:`HistogramSession` — the recommended front door:
+  draw a sample budget once, compile sketches once, answer batched
+  learn/test/min-k operations with cross-call caching;
 * learning:  :func:`learn_histogram` (Algorithm 1 / Theorem 2);
 * testing:   :func:`test_k_histogram_l2`, :func:`test_k_histogram_l1`
   (Theorems 3/4), :func:`test_uniformity` (the k=1 special case);
@@ -23,6 +26,14 @@ Public surface (see README.md for a tour):
 * hard instances: :mod:`repro.core.lower_bound` (Theorem 5).
 """
 
+from repro.api import (
+    ArraySource,
+    CountingSource,
+    HistogramSession,
+    SampleSource,
+    SketchBundle,
+    as_sample_source,
+)
 from repro.baselines import (
     compressed_from_samples,
     equidepth_from_samples,
@@ -65,9 +76,12 @@ from repro.histograms import Interval, PriorityHistogram, TilingHistogram, compa
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArraySource",
+    "CountingSource",
     "DiscreteDistribution",
     "EmpiricalDistribution",
     "GreedyParams",
+    "HistogramSession",
     "InsufficientSamplesError",
     "Interval",
     "InvalidDistributionError",
@@ -77,12 +91,15 @@ __all__ = [
     "LearnResult",
     "PriorityHistogram",
     "ReproError",
+    "SampleSource",
     "SelectionResult",
+    "SketchBundle",
     "TestResult",
     "TesterParams",
     "TilingHistogram",
     "UniformityResult",
     "__version__",
+    "as_sample_source",
     "compact",
     "compressed_from_samples",
     "distance_to_k_histogram",

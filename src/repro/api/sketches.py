@@ -1,0 +1,196 @@
+"""Shared sample pools and compiled-sketch caches for sessions.
+
+The paper's algorithms consume two *sketch families*:
+
+* the **learn family** — one weight sample plus ``r`` collision sets,
+  compiled into prefix arrays over a candidate grid (Algorithm 1);
+* the **test family** — ``r`` plain sample sets combined into a
+  :class:`~repro.samples.estimators.MultiSketch` (Algorithm 2 and the
+  min-k search).
+
+:class:`SketchBundle` owns one growable pool of raw samples per family
+and memoises the derived structures.  Pools only ever grow (i.i.d. draws
+are exchangeable, so the first ``m`` elements of a larger pool are a
+valid size-``m`` draw), which gives the session its central guarantee:
+a batch of ``(k, epsilon)`` operations issues at most one draw per
+family, and an operation whose sizes fit the existing pool issues none.
+
+Draw order is chosen to match the one-shot entry points exactly — a
+learn-family fill from empty performs the same ``sample()`` calls in the
+same order as :func:`repro.core.greedy.draw_greedy_samples`, and a
+test-family fill from empty matches
+:func:`repro.core.tester.draw_tester_sets` — which is what makes a fresh
+session's first sampling operation seed-for-seed identical to the
+corresponding legacy function (subsequent fills share the generator, so
+they are equivalent draws but not byte-replays of a legacy call).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.greedy import (
+    CompiledGreedySketches,
+    GreedySamples,
+    compile_greedy_sketches,
+)
+from repro.core.params import GreedyParams, TesterParams
+from repro.samples.estimators import MultiSketch
+
+_LEARN = "learn"
+_TEST = "test"
+
+
+class SketchBundle:
+    """Sample pools plus compiled sketches, shared across session calls.
+
+    Parameters
+    ----------
+    source:
+        A :class:`repro.api.SampleSource`.
+    n:
+        Domain size.
+    rng:
+        The generator every pool draw consumes (owned by the session).
+    """
+
+    def __init__(self, source: object, n: int, rng: np.random.Generator) -> None:
+        self._source = source
+        self._n = int(n)
+        self._rng = rng
+        self._weight_pool = np.empty(0, dtype=np.int64)
+        self._collision_pool: list[np.ndarray] = []
+        self._tester_pool: list[np.ndarray] = []
+        self._multi_cache: dict[tuple[int, int], MultiSketch] = {}
+        self._compiled_cache: dict[tuple, CompiledGreedySketches] = {}
+        self.draw_events = {_LEARN: 0, _TEST: 0}
+        self.samples_drawn = 0
+
+    @property
+    def n(self) -> int:
+        """Domain size."""
+        return self._n
+
+    def invalidate(self) -> None:
+        """Drop every pool and cache (the source's contents changed)."""
+        self._weight_pool = np.empty(0, dtype=np.int64)
+        self._collision_pool = []
+        self._tester_pool = []
+        self._multi_cache = {}
+        self._compiled_cache = {}
+
+    # -------------------------------------------------------------- #
+    # pool growth
+    # -------------------------------------------------------------- #
+
+    def _draw(self, size: int) -> np.ndarray:
+        self.samples_drawn += int(size)
+        return np.asarray(self._source.sample(size, self._rng))
+
+    def _extend(self, pool: np.ndarray, size: int) -> np.ndarray:
+        if pool.shape[0] >= size:
+            return pool
+        return np.concatenate([pool, self._draw(size - pool.shape[0])])
+
+    def ensure_learn_pool(self, params: GreedyParams) -> None:
+        """Grow the learn-family pools to cover ``params``' sizes."""
+        grew = (
+            self._weight_pool.shape[0] < params.weight_sample_size
+            or len(self._collision_pool) < params.collision_sets
+            or any(
+                s.shape[0] < params.collision_set_size
+                for s in self._collision_pool[: params.collision_sets]
+            )
+        )
+        if not grew:
+            return
+        self.draw_events[_LEARN] += 1
+        self._weight_pool = self._extend(self._weight_pool, params.weight_sample_size)
+        # Only the sets this call will slice are extended; any further
+        # pooled sets keep their size until a request actually needs them.
+        for i in range(min(len(self._collision_pool), params.collision_sets)):
+            self._collision_pool[i] = self._extend(
+                self._collision_pool[i], params.collision_set_size
+            )
+        while len(self._collision_pool) < params.collision_sets:
+            self._collision_pool.append(self._draw(params.collision_set_size))
+
+    def ensure_tester_pool(self, params: TesterParams) -> None:
+        """Grow the test-family pool to cover ``params``' sizes."""
+        grew = len(self._tester_pool) < params.num_sets or any(
+            s.shape[0] < params.set_size
+            for s in self._tester_pool[: params.num_sets]
+        )
+        if not grew:
+            return
+        self.draw_events[_TEST] += 1
+        for i in range(min(len(self._tester_pool), params.num_sets)):
+            self._tester_pool[i] = self._extend(self._tester_pool[i], params.set_size)
+        while len(self._tester_pool) < params.num_sets:
+            self._tester_pool.append(self._draw(params.set_size))
+
+    # -------------------------------------------------------------- #
+    # derived structures
+    # -------------------------------------------------------------- #
+
+    def learn_samples(self, params: GreedyParams) -> GreedySamples:
+        """The learn-family draw of exactly ``params``' sizes (pool views)."""
+        self.ensure_learn_pool(params)
+        return GreedySamples(
+            self._weight_pool[: params.weight_sample_size],
+            tuple(
+                s[: params.collision_set_size]
+                for s in self._collision_pool[: params.collision_sets]
+            ),
+        )
+
+    def compiled_sketches(
+        self,
+        params: GreedyParams,
+        *,
+        method: str,
+        max_candidates: int | None = None,
+    ) -> tuple[GreedySamples, CompiledGreedySketches]:
+        """Samples plus compiled prefixes for one learn configuration.
+
+        Compilation is memoised on the sizes actually consumed — a grid of
+        ``(k, epsilon)`` points sharing one budget compiles once and then
+        only re-runs the (cheap) greedy rounds.
+        """
+        samples = self.learn_samples(params)
+        key = (
+            method,
+            max_candidates,
+            params.weight_sample_size,
+            params.collision_sets,
+            params.collision_set_size,
+        )
+        compiled = self._compiled_cache.get(key)
+        if compiled is None:
+            compiled = compile_greedy_sketches(
+                samples,
+                self._n,
+                method=method,
+                max_candidates=max_candidates,
+                rng=self._rng,
+            )
+            self._compiled_cache[key] = compiled
+        return samples, compiled
+
+    def multi_sketch(self, params: TesterParams) -> MultiSketch:
+        """The test-family :class:`MultiSketch` for ``params``' sizes.
+
+        Memoised per ``(num_sets, set_size)``: every tester or min-k call
+        sharing one budget reuses both the raw draw and the built
+        sketches.
+        """
+        self.ensure_tester_pool(params)
+        key = (params.num_sets, params.set_size)
+        multi = self._multi_cache.get(key)
+        if multi is None:
+            multi = MultiSketch.from_sample_sets(
+                [s[: params.set_size] for s in self._tester_pool[: params.num_sets]],
+                self._n,
+            )
+            self._multi_cache[key] = multi
+        return multi

@@ -15,7 +15,14 @@ from repro.core.candidates import (
     sample_endpoint_candidates,
 )
 from repro.core.flatness import FlatnessResult, test_flatness_l1, test_flatness_l2
-from repro.core.greedy import learn_histogram
+from repro.core.greedy import (
+    CompiledGreedySketches,
+    GreedySamples,
+    compile_greedy_sketches,
+    draw_greedy_samples,
+    learn_from_samples,
+    learn_histogram,
+)
 from repro.core.identity import IdentityResult, test_identity_l2
 from repro.core.lower_bound import (
     collision_distinguisher,
@@ -24,14 +31,26 @@ from repro.core.lower_bound import (
 )
 from repro.core.params import GreedyParams, TesterParams, greedy_rounds, xi
 from repro.core.results import FlatnessQuery, LearnResult, TestResult, UniformityResult
-from repro.core.selection import SelectionResult, estimate_min_k
-from repro.core.tester import test_k_histogram_l1, test_k_histogram_l2
+from repro.core.selection import (
+    SelectionResult,
+    estimate_min_k,
+    select_min_k_on_sketch,
+)
+from repro.core.tester import (
+    draw_tester_sets,
+    test_k_histogram_l1,
+    test_k_histogram_l2,
+    test_l1_on_sketch,
+    test_l2_on_sketch,
+)
 from repro.core.uniformity import test_uniformity
 
 __all__ = [
+    "CompiledGreedySketches",
     "FlatnessQuery",
     "FlatnessResult",
     "GreedyParams",
+    "GreedySamples",
     "IdentityResult",
     "LearnResult",
     "SelectionResult",
@@ -40,16 +59,23 @@ __all__ = [
     "UniformityResult",
     "all_interval_candidates",
     "collision_distinguisher",
+    "compile_greedy_sketches",
+    "draw_greedy_samples",
+    "draw_tester_sets",
     "estimate_min_k",
     "greedy_rounds",
+    "learn_from_samples",
     "learn_histogram",
     "no_instance",
     "sample_endpoint_candidates",
+    "select_min_k_on_sketch",
     "test_flatness_l1",
     "test_flatness_l2",
     "test_identity_l2",
     "test_k_histogram_l1",
     "test_k_histogram_l2",
+    "test_l1_on_sketch",
+    "test_l2_on_sketch",
     "test_uniformity",
     "xi",
     "yes_instance",

@@ -62,7 +62,7 @@ class CandidateSet:
     ) -> "CandidateSet":
         """Uniformly subsample candidates (practicality escape hatch).
 
-        Deviates from the paper (documented in DESIGN.md); only used when
+        Deviates from the paper (README.md, "Design notes"); only used when
         the caller explicitly caps the candidate count.
         """
         if max_candidates < 1:

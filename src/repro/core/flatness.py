@@ -9,7 +9,7 @@ uniform or light) from collision statistics:
   the median-of-r [GR00] statistic — is close to the uniform level
   ``1 / |I|``.
 
-Pseudocode note (DESIGN.md): the papers' step 3 writes ``C(|S^1|, 2)`` as
+Pseudocode note (README.md, "Design notes"): the papers' step 3 writes ``C(|S^1|, 2)`` as
 the denominator, but the surrounding proofs (Eqs. 28–29 and 35) use
 ``C(|S^i_I|, 2)``; we follow the proofs.
 """

@@ -12,7 +12,7 @@ interval ``J`` by the estimated squared-l2 cost of the histogram obtained
 by painting ``J`` (with value ``y_J / |J|``) over the current one, then
 commits the argmin.
 
-Two faithfulness details (DESIGN.md, "faithfulness notes"):
+Two faithfulness details (README.md, "Design notes"):
 
 * the cost ``c_J`` sums ``z_I - y_I^2 / |I|`` over *all* segments of the
   flattened result, counting never-covered gaps as zero-valued pieces
@@ -27,6 +27,15 @@ Candidate scoring is vectorised: all candidate endpoints live on a fixed
 grid whose prefix sums (hit counts per sample set, pair counts per
 collision set) are compiled once; scoring a round is a constant number of
 gathers over the candidate arrays plus one median across the ``r`` sets.
+
+The module is split into three layers so samples can be reused across
+calls (see :class:`repro.api.HistogramSession`):
+
+* :func:`draw_greedy_samples` — the only part that touches the source;
+* :func:`compile_greedy_sketches` — candidate grid + prefix compilation;
+* :func:`learn_from_samples` — the pure algorithm over those inputs.
+
+:func:`learn_histogram` is the classic one-shot composition of the three.
 """
 
 from __future__ import annotations
@@ -229,7 +238,8 @@ class _GreedyEngine:
         priority-histogram semantics) unless ``fill_gaps``, in which case
         they too get their weight estimate — an application-oriented
         extension that never hurts the squared error and markedly helps
-        range queries over low-density regions (see DESIGN.md).
+        range queries over low-density regions (README.md, "Design
+        notes").
         """
         boundaries = [0]
         values = []
@@ -256,92 +266,149 @@ def _build_priority_log(
     return log
 
 
-def learn_histogram(
+@dataclass(frozen=True)
+class GreedySamples:
+    """The raw samples Algorithm 1 draws, decoupled from the source.
+
+    Attributes
+    ----------
+    weight_samples:
+        The single weight-estimation sample ``S`` (``y_I`` estimates).
+    collision_sets:
+        The ``r`` independent collision sample sets ``S^1, ..., S^r``
+        (``z_I`` estimates).
+    """
+
+    weight_samples: np.ndarray
+    collision_sets: tuple[np.ndarray, ...]
+
+    def matches(self, params: GreedyParams) -> bool:
+        """Whether the array shapes agree with ``params``' sizes."""
+        return (
+            self.weight_samples.shape[0] == params.weight_sample_size
+            and len(self.collision_sets) == params.collision_sets
+            and all(
+                s.shape[0] == params.collision_set_size for s in self.collision_sets
+            )
+        )
+
+
+@dataclass(frozen=True)
+class CompiledGreedySketches:
+    """Candidate grid plus compiled prefix sketches (the learner's input).
+
+    Produced by :func:`compile_greedy_sketches`; building it is the
+    expensive per-draw work (sorting, uniquing, prefix compilation) that
+    :class:`repro.api.HistogramSession` caches across calls.
+    """
+
+    candidates: CandidateSet
+    weight_set: "SampleSet"
+    weight_prefix: np.ndarray
+    pair_prefixes: np.ndarray
+
+
+def draw_greedy_samples(
     source: object,
+    params: GreedyParams,
+    rng: int | None | np.random.Generator = None,
+) -> GreedySamples:
+    """Draw Algorithm 1's samples from ``source`` (the only sampling step).
+
+    Draw order is part of the public contract: one weight sample of
+    ``params.weight_sample_size``, then ``params.collision_sets`` sets of
+    ``params.collision_set_size``, all from the same generator — so any
+    caller that reproduces this order is seed-for-seed compatible with
+    :func:`learn_histogram`.
+    """
+    generator = as_rng(rng)
+    weight_samples = np.asarray(source.sample(params.weight_sample_size, generator))
+    collision_sets = tuple(
+        np.asarray(source.sample(params.collision_set_size, generator))
+        for _ in range(params.collision_sets)
+    )
+    return GreedySamples(weight_samples, collision_sets)
+
+
+def compile_greedy_sketches(
+    samples: GreedySamples,
     n: int,
-    k: int,
-    epsilon: float,
     *,
     method: str = "fast",
-    scale: float = 1.0,
-    params: GreedyParams | None = None,
     max_candidates: int | None = None,
     rng: int | None | np.random.Generator = None,
-) -> LearnResult:
-    """Learn a near-optimal histogram from samples (Theorems 1 / 2).
+) -> CompiledGreedySketches:
+    """Build the candidate set and compile every sketch onto its grid.
 
-    Parameters
-    ----------
-    source:
-        Anything with ``sample(size, rng) -> np.ndarray`` — typically a
-        :class:`repro.distributions.DiscreteDistribution` (including
-        :class:`~repro.distributions.EmpiricalDistribution` over a data
-        column).
-    n:
-        Domain size.
-    k:
-        Histogram budget: the guarantee is relative to the best tiling
-        k-histogram ``H*``.
-    epsilon:
-        Additive accuracy: ``||p - H||_2^2 <= ||p - H*||_2^2 + 5 eps``
-        for ``method="exhaustive"`` (Theorem 1), ``+ 8 eps`` for
-        ``method="fast"`` (Theorem 2), at ``scale = 1``.
-    method:
-        ``"exhaustive"`` scores all ``C(n, 2)`` intervals per round
-        (Algorithm 1); ``"fast"`` scores only intervals with endpoints in
-        the sample-derived set ``T'`` (Theorem 2).
-    scale:
-        Multiplier on the paper's sample sizes (see
-        :mod:`repro.core.params`).
-    params:
-        Explicit sample sizes, overriding the paper formulas.
-    max_candidates:
-        Optional cap on the candidate count (uniform subsample; a
-        documented deviation for very large inputs).
-    rng:
-        Seed or generator.
-
-    Returns
-    -------
-    LearnResult
-        The learned tiling histogram plus the paper's priority
-        representation and a per-round trace.
+    Pure in the samples (``rng`` is consumed only when ``max_candidates``
+    forces a subsample).  The result depends on the sample *contents*,
+    so it is reusable by any number of ``(k, epsilon)`` learn calls over
+    the same draw.
     """
     if method not in _METHODS:
         raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
-    if params is None:
-        params = GreedyParams.from_paper(n, k, epsilon, scale=scale)
-    generator = as_rng(rng)
-
-    weight_samples = np.asarray(source.sample(params.weight_sample_size, generator))
-    collision_sets = [
-        np.asarray(source.sample(params.collision_set_size, generator))
-        for _ in range(params.collision_sets)
-    ]
-
     if method == "fast":
-        candidates = sample_endpoint_candidates(weight_samples, n)
+        candidates = sample_endpoint_candidates(samples.weight_samples, n)
     else:
         candidates = all_interval_candidates(n)
     if max_candidates is not None:
-        candidates = candidates.subsample(max_candidates, generator)
+        candidates = candidates.subsample(max_candidates, as_rng(rng))
 
     from repro.samples.collision import CollisionSketch
     from repro.samples.sample_set import SampleSet
 
-    weight_set = SampleSet(weight_samples, n)
+    weight_set = SampleSet(samples.weight_samples, n)
     weight_prefix = weight_set.count_prefix_on_grid(candidates.grid)
     pair_prefixes = np.stack(
         [
             CollisionSketch(s, n).prefixes_on_grid(candidates.grid)[1]
-            for s in collision_sets
+            for s in samples.collision_sets
         ]
     )
+    return CompiledGreedySketches(candidates, weight_set, weight_prefix, pair_prefixes)
+
+
+def learn_from_samples(
+    samples: GreedySamples,
+    n: int,
+    k: int,
+    epsilon: float,
+    *,
+    params: GreedyParams,
+    method: str = "fast",
+    max_candidates: int | None = None,
+    rng: int | None | np.random.Generator = None,
+    compiled: CompiledGreedySketches | None = None,
+) -> LearnResult:
+    """Run the greedy rounds on already-drawn samples (no source access).
+
+    This is the pure algorithmic half of :func:`learn_histogram`: given
+    ``samples`` whose sizes match ``params`` it deterministically produces
+    the same :class:`LearnResult` the one-shot entry point would.  Pass
+    ``compiled`` (from :func:`compile_greedy_sketches` over the same
+    samples) to skip the grid/prefix compilation.
+    """
+    if method not in _METHODS:
+        raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
+    if not samples.matches(params):
+        raise InvalidParameterError(
+            "sample array sizes do not match params "
+            f"(weight {samples.weight_samples.shape[0]} vs "
+            f"{params.weight_sample_size}, "
+            f"{len(samples.collision_sets)} collision sets vs "
+            f"{params.collision_sets})"
+        )
+    if compiled is None:
+        compiled = compile_greedy_sketches(
+            samples, n, method=method, max_candidates=max_candidates, rng=rng
+        )
+    candidates = compiled.candidates
+    weight_set = compiled.weight_set
     engine = _GreedyEngine(
         candidates,
-        weight_prefix,
+        compiled.weight_prefix,
         params.weight_sample_size,
-        pair_prefixes,
+        compiled.pair_prefixes,
         pairs_count(params.collision_set_size),
     )
 
@@ -388,4 +455,78 @@ def learn_histogram(
         num_candidates=candidates.size,
         samples_used=params.total_samples,
         filled_histogram=engine.to_tiling(n, fill_gaps=True),
+    )
+
+
+def learn_histogram(
+    source: object,
+    n: int,
+    k: int,
+    epsilon: float,
+    *,
+    method: str = "fast",
+    scale: float = 1.0,
+    params: GreedyParams | None = None,
+    max_candidates: int | None = None,
+    rng: int | None | np.random.Generator = None,
+) -> LearnResult:
+    """Learn a near-optimal histogram from samples (Theorems 1 / 2).
+
+    One-shot composition of :func:`draw_greedy_samples` and
+    :func:`learn_from_samples`; for answering many ``(k, epsilon)``
+    queries over one shared draw, prefer
+    :class:`repro.api.HistogramSession`.
+
+    Parameters
+    ----------
+    source:
+        Anything satisfying :class:`repro.api.SampleSource` — typically a
+        :class:`repro.distributions.DiscreteDistribution` (including
+        :class:`~repro.distributions.EmpiricalDistribution` over a data
+        column).
+    n:
+        Domain size.
+    k:
+        Histogram budget: the guarantee is relative to the best tiling
+        k-histogram ``H*``.
+    epsilon:
+        Additive accuracy: ``||p - H||_2^2 <= ||p - H*||_2^2 + 5 eps``
+        for ``method="exhaustive"`` (Theorem 1), ``+ 8 eps`` for
+        ``method="fast"`` (Theorem 2), at ``scale = 1``.
+    method:
+        ``"exhaustive"`` scores all ``C(n, 2)`` intervals per round
+        (Algorithm 1); ``"fast"`` scores only intervals with endpoints in
+        the sample-derived set ``T'`` (Theorem 2).
+    scale:
+        Multiplier on the paper's sample sizes (see
+        :mod:`repro.core.params`).
+    params:
+        Explicit sample sizes, overriding the paper formulas.
+    max_candidates:
+        Optional cap on the candidate count (uniform subsample; a
+        documented deviation for very large inputs).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    LearnResult
+        The learned tiling histogram plus the paper's priority
+        representation and a per-round trace.
+    """
+    if method not in _METHODS:
+        raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
+    if params is None:
+        params = GreedyParams.from_paper(n, k, epsilon, scale=scale)
+    generator = as_rng(rng)
+    samples = draw_greedy_samples(source, params, generator)
+    return learn_from_samples(
+        samples,
+        n,
+        k,
+        epsilon,
+        params=params,
+        method=method,
+        max_candidates=max_candidates,
+        rng=generator,
     )

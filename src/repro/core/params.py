@@ -17,7 +17,7 @@ The paper's constants are worst-case; at realistic ``(n, k, eps)`` they
 demand hundreds of millions of samples.  Every ``from_paper`` constructor
 therefore accepts ``scale``: each *set size* is multiplied by ``scale``
 (``scale = 1.0`` is paper-faithful), leaving the algorithms untouched.
-Experiments report the scale they used (see EXPERIMENTS.md).
+Experiments report the scale they used (README.md, "Experiments").
 """
 
 from __future__ import annotations

@@ -50,7 +50,8 @@ class LearnResult:
     filled_histogram:
         Like ``histogram`` but with never-covered gaps carrying their
         estimated weight instead of 0 — an application extension that
-        helps range queries over low-density regions (see DESIGN.md).
+        helps range queries over low-density regions (README.md, "Design
+        notes").
     """
 
     histogram: TilingHistogram

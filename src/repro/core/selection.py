@@ -7,8 +7,12 @@ avoid paying the sample complexity once per candidate ``k``, the search
 reuses one set of sample sets across all candidates — Algorithm 2 already
 takes a union bound over all ``n^2`` intervals, so reuse is sound.
 
-This module is an extension beyond the paper (documented in DESIGN.md):
+This module is an extension beyond the paper (README.md, "Design notes"):
 the paper's machinery composes into it directly.
+:func:`select_min_k_on_sketch` is the pure half operating on an
+already-built sketch; :func:`estimate_min_k` is the classic draw-and-run
+composition, and :meth:`repro.api.HistogramSession.min_k` the
+sketch-reusing one.
 """
 
 from __future__ import annotations
@@ -19,11 +23,10 @@ import numpy as np
 
 from repro.core.flatness import test_flatness_l1, test_flatness_l2
 from repro.core.params import TesterParams
-from repro.core.tester import flat_partition
+from repro.core.tester import draw_tester_sets, flat_partition, l1_effective_scale
 from repro.errors import InvalidParameterError
 from repro.histograms.intervals import Interval
 from repro.samples.estimators import MultiSketch
-from repro.utils.rng import as_rng
 
 
 @dataclass(frozen=True)
@@ -101,19 +104,37 @@ def estimate_min_k(
         else:
             params = TesterParams.l1_from_paper(n, max_k, epsilon, scale=scale)
 
-    generator = as_rng(rng)
-    sample_sets = [
-        np.asarray(source.sample(params.set_size, generator))
-        for _ in range(params.num_sets)
-    ]
+    sample_sets = draw_tester_sets(source, params, rng)
     multi = MultiSketch.from_sample_sets(sample_sets, n)
+    return select_min_k_on_sketch(
+        multi, n, epsilon, max_k=max_k, norm=norm, params=params
+    )
+
+
+def select_min_k_on_sketch(
+    multi: MultiSketch,
+    n: int,
+    epsilon: float,
+    *,
+    max_k: int,
+    norm: str = "l1",
+    params: TesterParams,
+) -> SelectionResult:
+    """The min-k search on an already-built sketch (no source access).
+
+    Pure in ``multi``; :func:`estimate_min_k` and
+    :meth:`repro.api.HistogramSession.min_k` both delegate here.
+    """
+    if not 1 <= max_k <= n:
+        raise InvalidParameterError(f"max_k must be in [1, n], got {max_k}")
+    if norm not in ("l1", "l2"):
+        raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
 
     if norm == "l2":
         def oracle(start: int, stop: int):
             return test_flatness_l2(multi, start, stop, epsilon)
     else:
-        paper_set_size = (2**13) * np.sqrt(max_k * n) / epsilon**5
-        effective_scale = min(1.0, params.set_size / paper_set_size)
+        effective_scale = l1_effective_scale(n, max_k, epsilon, params)
 
         def oracle(start: int, stop: int):
             return test_flatness_l1(multi, start, stop, epsilon, scale=effective_scale)

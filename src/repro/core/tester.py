@@ -5,10 +5,18 @@ Starting from the left edge it binary-searches for the farthest endpoint
 whose interval still passes the flatness test, commits that interval, and
 repeats; it accepts iff ``k`` intervals suffice.
 
-Accept-condition note (DESIGN.md): the paper's pseudocode accepts when
-``previous = n`` (1-based), but the binary search leaves ``low = n + 1``
-when the final interval is flat; the reachable condition — implemented
-here — is ``previous >= n`` in 0-based half-open coordinates.
+Accept-condition note (README.md, "Design notes"): the paper's pseudocode
+accepts when ``previous = n`` (1-based), but the binary search leaves
+``low = n + 1`` when the final interval is flat; the reachable condition —
+implemented here — is ``previous >= n`` in 0-based half-open coordinates.
+
+Like the learner, the module splits "draw samples" from "run the
+algorithm": :func:`draw_tester_sets` touches the source,
+:func:`test_l2_on_sketch` / :func:`test_l1_on_sketch` run Algorithm 2 on
+an already-built :class:`~repro.samples.estimators.MultiSketch`, and the
+classic :func:`test_k_histogram_l2` / :func:`test_k_histogram_l1` compose
+the two (see :class:`repro.api.HistogramSession` for the sketch-reusing
+path).
 """
 
 from __future__ import annotations
@@ -82,22 +90,34 @@ def flat_partition(
     return partition, queries
 
 
-def _run_tester(
+def draw_tester_sets(
     source: object,
+    params: TesterParams,
+    rng: "int | None | np.random.Generator" = None,
+) -> list[np.ndarray]:
+    """Draw Algorithm 2's ``r`` sample sets (the only sampling step).
+
+    Draw order is part of the public contract: ``params.num_sets``
+    consecutive draws of ``params.set_size`` from one generator, so any
+    caller reproducing the order is seed-for-seed compatible with the
+    one-shot testers.
+    """
+    generator = as_rng(rng)
+    return [
+        np.asarray(source.sample(params.set_size, generator))
+        for _ in range(params.num_sets)
+    ]
+
+
+def _run_on_sketch(
+    multi: MultiSketch,
     n: int,
     k: int,
     epsilon: float,
     norm: str,
     params: TesterParams,
     oracle_factory: Callable[[MultiSketch], FlatnessOracle],
-    rng: "int | None | np.random.Generator",
 ) -> TestResult:
-    generator = as_rng(rng)
-    sample_sets = [
-        np.asarray(source.sample(params.set_size, generator))
-        for _ in range(params.num_sets)
-    ]
-    multi = MultiSketch.from_sample_sets(sample_sets, n)
     partition, queries = flat_partition(n, k, oracle_factory(multi))
     covered = partition[-1].stop if partition else 0
     return TestResult(
@@ -109,6 +129,71 @@ def _run_tester(
         queries=queries,
         params=params,
         samples_used=params.total_samples,
+    )
+
+
+def _validate_k(n: int, k: int) -> None:
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must be in [1, n], got k={k}, n={n}")
+
+
+def test_l2_on_sketch(
+    multi: MultiSketch,
+    n: int,
+    k: int,
+    epsilon: float,
+    params: TesterParams,
+) -> TestResult:
+    """Theorem 3's tester on an already-built sketch (no source access).
+
+    Pure in ``multi``: running it any number of times — or interleaved
+    with other ``(k, epsilon)`` queries over the same sketch — returns
+    identical results, which is what lets sessions share one draw.
+    """
+    _validate_k(n, k)
+    return _run_on_sketch(
+        multi,
+        n,
+        k,
+        epsilon,
+        "l2",
+        params,
+        lambda m: lambda start, stop: test_flatness_l2(m, start, stop, epsilon),
+    )
+
+
+def l1_effective_scale(n: int, k: int, epsilon: float, params: TesterParams) -> float:
+    """Rescaling of ``testFlatness-l1``'s light-interval threshold.
+
+    The threshold is an absolute hit count calibrated to the paper's
+    ``m = 2^13 sqrt(kn) / eps^5``; running with ``params.set_size``
+    samples per set requires scaling it proportionally so the same weight
+    level is tested.
+    """
+    paper_set_size = (2**13) * np.sqrt(k * n) / epsilon**5
+    return min(1.0, params.set_size / paper_set_size)
+
+
+def test_l1_on_sketch(
+    multi: MultiSketch,
+    n: int,
+    k: int,
+    epsilon: float,
+    params: TesterParams,
+) -> TestResult:
+    """Theorem 4's tester on an already-built sketch (no source access)."""
+    _validate_k(n, k)
+    effective_scale = l1_effective_scale(n, k, epsilon, params)
+    return _run_on_sketch(
+        multi,
+        n,
+        k,
+        epsilon,
+        "l1",
+        params,
+        lambda m: lambda start, stop: test_flatness_l1(
+            m, start, stop, epsilon, scale=effective_scale
+        ),
     )
 
 
@@ -130,15 +215,12 @@ def test_k_histogram_l2(
     Guarantees (at ``scale = 1``): members are accepted and distributions
     eps-far in l2 are rejected, each with probability at least 2/3.
     """
-    if not 1 <= k <= n:
-        raise InvalidParameterError(f"k must be in [1, n], got k={k}, n={n}")
+    _validate_k(n, k)
     if params is None:
         params = TesterParams.l2_from_paper(n, epsilon, scale=scale)
-
-    def factory(multi: MultiSketch) -> FlatnessOracle:
-        return lambda start, stop: test_flatness_l2(multi, start, stop, epsilon)
-
-    return _run_tester(source, n, k, epsilon, "l2", params, factory, rng)
+    sample_sets = draw_tester_sets(source, params, rng)
+    multi = MultiSketch.from_sample_sets(sample_sets, n)
+    return test_l2_on_sketch(multi, n, k, epsilon, params)
 
 
 def test_k_histogram_l1(
@@ -155,24 +237,15 @@ def test_k_histogram_l1(
 
     Draws ``r = 16 ln(6 n^2)`` sets of ``m = 2^13 sqrt(kn) / eps^5``
     samples (times ``scale``) and runs Algorithm 2 with
-    ``testFlatness-l1``; the light-interval threshold scales with ``m``.
+    ``testFlatness-l1``; the light-interval threshold scales with ``m``
+    (see :func:`l1_effective_scale`).
     """
-    if not 1 <= k <= n:
-        raise InvalidParameterError(f"k must be in [1, n], got k={k}, n={n}")
+    _validate_k(n, k)
     if params is None:
         params = TesterParams.l1_from_paper(n, k, epsilon, scale=scale)
-    # The light-interval threshold of testFlatness-l1 is an absolute hit
-    # count calibrated to the paper's m; rescale it to the actual set size
-    # so explicitly supplied params stay consistent.
-    paper_set_size = (2**13) * np.sqrt(k * n) / epsilon**5
-    effective_scale = min(1.0, params.set_size / paper_set_size)
-
-    def factory(multi: MultiSketch) -> FlatnessOracle:
-        return lambda start, stop: test_flatness_l1(
-            multi, start, stop, epsilon, scale=effective_scale
-        )
-
-    return _run_tester(source, n, k, epsilon, "l1", params, factory, rng)
+    sample_sets = draw_tester_sets(source, params, rng)
+    multi = MultiSketch.from_sample_sets(sample_sets, n)
+    return test_l1_on_sketch(multi, n, k, epsilon, params)
 
 
 def count_rejections(result: TestResult) -> int:

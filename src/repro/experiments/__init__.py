@@ -2,8 +2,8 @@
 
 The paper is pure theory — its "evaluation" is the theorem statements —
 so each experiment instantiates one claim as a measurable table (T*) or
-curve (F*); the mapping is DESIGN.md section 6 and the recorded outcomes
-live in EXPERIMENTS.md.
+curve (F*); the mapping and the recorded outcomes
+live in README.md ("Experiments").
 
 Run from the command line::
 

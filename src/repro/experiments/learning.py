@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.session import HistogramSession
 from repro.baselines.voptimal import voptimal_cost, voptimal_histogram
 from repro.core.greedy import learn_histogram
+from repro.core.params import GreedyParams
 from repro.distributions import families
 from repro.distributions.distances import l2_distance_squared
 from repro.experiments.harness import ExperimentConfig, ExperimentResult
@@ -82,12 +84,15 @@ def run_t2(config: ExperimentConfig) -> ExperimentResult:
     rngs = spawn_rngs(config.seed + 1, len(_workloads(n, config.quick)))
     for (name, dist, k), rng in zip(_workloads(n, config.quick), rngs):
         opt = voptimal_cost(dist.pmf, k, norm="l2")
+        # One session per workload: both methods score the same draw (a
+        # paired comparison).  Sampling happens in the prefetch so that
+        # neither timed region pays for it.
+        session = HistogramSession(dist, n, rng=rng, scale=SCALE)
+        session.prefetch_learn([(k, EPSILON)])
         with Timer() as t_fast:
-            fast = learn_histogram(dist, n, k, EPSILON, method="fast", scale=SCALE, rng=rng)
+            fast = session.learn(k, EPSILON, method="fast")
         with Timer() as t_slow:
-            slow = learn_histogram(
-                dist, n, k, EPSILON, method="exhaustive", scale=SCALE, rng=rng
-            )
+            slow = session.learn(k, EPSILON, method="exhaustive")
         result.rows.append(
             [
                 name, k,
@@ -122,14 +127,18 @@ def run_f1(config: ExperimentConfig) -> ExperimentResult:
             "Shape: excess decays with samples and sits far below 8 eps.",
         ],
     )
-    rngs = spawn_rngs(config.seed + 2, len(scales) * repeats)
-    for i, scale in enumerate(scales):
+    # One session per repeat: the budget sweep reuses one growing pool
+    # (common random numbers across scales), so the whole curve costs one
+    # draw of the largest budget per repeat.
+    sessions = [
+        HistogramSession(dist, n, rng=rng, method="fast")
+        for rng in spawn_rngs(config.seed + 2, repeats)
+    ]
+    for scale in scales:
+        params = GreedyParams.from_paper(n, k, EPSILON, scale=scale)
         errs = []
-        for j in range(repeats):
-            learned = learn_histogram(
-                dist, n, k, EPSILON, method="fast", scale=scale,
-                rng=rngs[i * repeats + j],
-            )
+        for session in sessions:
+            learned = session.learn(k, EPSILON, params=params)
             errs.append(l2_distance_squared(dist, learned.histogram) - opt)
         result.rows.append(
             [scale, learned.samples_used, float(np.median(errs)), 8 * EPSILON]

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
+from repro.api.session import HistogramSession
 from repro.baselines.compressed import compressed_from_samples
 from repro.baselines.equidepth import equidepth_from_samples
 from repro.baselines.equiwidth import equiwidth_from_samples
 from repro.baselines.voptimal import voptimal_from_samples
-from repro.core.greedy import learn_histogram
 from repro.core.params import GreedyParams
 from repro.datasets.synthetic import (
     ages_column,
@@ -64,10 +64,11 @@ def run_t6(config: ExperimentConfig) -> ExperimentResult:
             collision_set_size=sample_budget // 10,
             rounds=max(4, k),
         )
+        session = HistogramSession(truth, n, rng=sample_rng)
         estimators = {
-            "greedy (this paper)": learn_histogram(
-                truth, n, k, 0.25, params=greedy_params, rng=sample_rng
-            ).filled_histogram,
+            "greedy (this paper)": SelectivityEstimator.from_session(
+                session, k, 0.25, params=greedy_params
+            ).histogram,
             "v-optimal plug-in": voptimal_from_samples(samples, n, k),
             "equi-depth": equidepth_from_samples(samples, n, k),
             "compressed": compressed_from_samples(samples, n, k),

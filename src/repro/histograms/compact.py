@@ -7,7 +7,7 @@ slot — the learned histogram can be re-partitioned optimally over its own
 segment boundaries: a dynamic program over ``M`` segments instead of
 ``n`` points, so the cost is ``O(M^2 k)`` with ``M << n``.
 
-This is an extension beyond the paper (DESIGN.md, T7 discusses it); it
+This is an extension beyond the paper (README.md "Experiments", T7 discusses it); it
 uses the learned histogram itself as the proxy distribution, so no new
 samples are needed.
 """

@@ -8,12 +8,17 @@ is a piece-overlap sum (no dense expansion).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.distributions.distances import as_pmf
 from repro.histograms.intervals import Interval
 from repro.histograms.priority import PriorityHistogram
 from repro.histograms.tiling import TilingHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.api.session import HistogramSession
 
 
 def true_selectivity(p: object, query: Interval) -> float:
@@ -37,6 +42,28 @@ class SelectivityEstimator:
                 f"expected a histogram, got {type(histogram).__name__}"
             )
         self._histogram = histogram
+
+    @classmethod
+    def from_session(
+        cls,
+        session: "HistogramSession",
+        k: int,
+        epsilon: float,
+        *,
+        filled: bool = True,
+        **learn_kwargs: object,
+    ) -> "SelectivityEstimator":
+        """Learn a summary through a :class:`repro.api.HistogramSession`.
+
+        The session's cached samples/sketches are reused, so building
+        estimators at several ``k`` shares one draw.  ``filled`` selects
+        the gap-filled histogram (better range-query behaviour over
+        low-density regions); pass ``filled=False`` for the paper's
+        strict priority-histogram semantics.
+        """
+        result = session.learn(k, epsilon, **learn_kwargs)
+        histogram = result.filled_histogram if filled else result.histogram
+        return cls(histogram)
 
     @property
     def histogram(self) -> TilingHistogram:

@@ -55,7 +55,7 @@ def _ratio(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
 
     An interval holding fewer than two samples exhibits no collision pairs;
     its observed collision probability is defined as 0 (the safe, accepting
-    direction — see DESIGN.md, faithfulness notes).
+    direction — README.md, "Design notes").
     """
     numerator = np.asarray(numerator, dtype=np.float64)
     denominator = np.asarray(denominator, dtype=np.float64)

@@ -9,7 +9,7 @@ k-histogram over a stream of values by combining
 * periodic rebuilds with the paper's fast greedy learner driven by the
   reservoir.
 
-Substrate/extension status is documented in DESIGN.md.
+Substrate/extension status is documented in README.md ("Design notes").
 """
 
 from repro.streaming.maintainer import StreamingHistogramMaintainer

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.greedy import learn_histogram
+from repro.api.session import HistogramSession
 from repro.core.params import GreedyParams
 from repro.errors import InvalidParameterError
 from repro.histograms.tiling import TilingHistogram
@@ -85,6 +85,13 @@ class StreamingHistogramMaintainer:
         self._since_rebuild = 0
         self._rebuilds = 0
         self._histogram: TilingHistogram | None = None
+        # One facade session for the reservoir; its pools are invalidated
+        # before each rebuild because the reservoir's contents change
+        # between them.
+        self._session = self._make_session()
+
+    def _make_session(self) -> HistogramSession:
+        return HistogramSession(self._reservoir, self._n, rng=self._rng, method="fast")
 
     @property
     def items_seen(self) -> int:
@@ -129,17 +136,11 @@ class StreamingHistogramMaintainer:
     def _rebuild(self) -> None:
         if self._reservoir.size == 0:
             return
-        result = learn_histogram(
-            self._reservoir,
-            self._n,
-            self._k,
-            self._epsilon,
-            method="fast",
-            params=self._params,
-            rng=self._rng,
-        )
+        self._session.invalidate()
+        result = self._session.learn(self._k, self._epsilon, params=self._params)
         self._histogram = result.filled_histogram
         self._since_rebuild = 0
         self._rebuilds += 1
         if self._forget_after_rebuild:
             self._reservoir = ReservoirSampler(self._reservoir.capacity, self._rng)
+            self._session = self._make_session()

@@ -1,7 +1,7 @@
 """Markdown table rendering for the experiment harness.
 
 Experiments print GitHub-flavoured markdown tables so their output can be
-pasted directly into EXPERIMENTS.md.
+pasted directly into README.md's experiment records.
 """
 
 from __future__ import annotations

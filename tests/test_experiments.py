@@ -1,7 +1,8 @@
 """Tests for repro.experiments (harness, registry, CLI, quick runs).
 
 Each experiment runs once in quick mode; assertions target the *shape*
-claims recorded in EXPERIMENTS.md, with slack for the reduced grids.
+claims recorded in README.md ("Experiments"), with slack for the
+reduced grids.
 """
 
 from __future__ import annotations

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.params import GreedyParams, TesterParams
+from repro.core.params import TesterParams
 from repro.core.selection import estimate_min_k
 from repro.datasets import sensor_readings_column
 from repro.distributions import families
