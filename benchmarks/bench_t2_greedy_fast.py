@@ -1,12 +1,28 @@
-"""T2 — fast greedy (Theorem 2) vs exhaustive."""
+"""T2 — fast greedy (Theorem 2) vs exhaustive.
+
+The kernel benchmarks track the incremental scoring engine
+(README.md, "Incremental scoring"): ``test_fast_greedy_kernel_large``
+is the headline grid point — millions of candidates over many rounds,
+where dirty-region rescoring pays — and feeds ``BENCH_greedy.json``
+(see ``benchmarks/record_greedy_bench.py``).
+"""
 
 from __future__ import annotations
 
 from conftest import emit
 
 from repro.core.greedy import learn_histogram
+from repro.core.params import GreedyParams
 from repro.distributions import families
 from repro.experiments.learning import run_t2
+
+LARGE_N = 8_192
+LARGE_PARAMS = GreedyParams(
+    weight_sample_size=2_500,
+    collision_sets=9,
+    collision_set_size=2_500,
+    rounds=12,
+)
 
 
 def test_t2_table(benchmark, quick_config):
@@ -22,3 +38,29 @@ def test_fast_greedy_kernel(benchmark):
     benchmark(
         lambda: learn_histogram(dist, 512, 4, 0.25, method="fast", scale=0.02, rng=1)
     )
+
+
+def test_fast_greedy_kernel_large(benchmark):
+    """Macro: the largest grid point — ~2.4M candidates, 12 rounds."""
+    dist = families.zipf(LARGE_N, 1.0)
+    result = benchmark.pedantic(
+        lambda: learn_histogram(
+            dist, LARGE_N, 8, 0.2, method="fast", params=LARGE_PARAMS, rng=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_candidates > 1_000_000
+
+
+def test_exhaustive_greedy_kernel(benchmark):
+    """Macro: one exhaustive learn (Algorithm 1) on n=512, C(n+1, 2) candidates."""
+    dist = families.zipf(512, 1.0)
+    result = benchmark.pedantic(
+        lambda: learn_histogram(
+            dist, 512, 4, 0.25, method="exhaustive", scale=0.02, rng=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_candidates == 512 * 513 // 2

@@ -67,6 +67,10 @@ class HistogramSession:
     method:
         Default learner candidate strategy, ``"fast"`` or
         ``"exhaustive"``.
+    engine:
+        Default learner scoring engine, ``"incremental"`` (dirty-region
+        rescoring) or ``"full"`` (rescore everything each round; kept
+        for the equivalence tests — results are byte-identical).
     learn_budget:
         Optional fixed :class:`GreedyParams` for every learn call; only
         the round count is re-derived per ``(k, epsilon)``.  A fixed
@@ -85,6 +89,7 @@ class HistogramSession:
         rng: int | None | np.random.Generator = None,
         scale: float = 1.0,
         method: str = "fast",
+        engine: str = "incremental",
         learn_budget: GreedyParams | None = None,
         test_budget: TesterParams | None = None,
         max_candidates: int | None = None,
@@ -96,6 +101,7 @@ class HistogramSession:
         self._rng = as_rng(rng)
         self._scale = float(scale)
         self._method = method
+        self._engine = engine
         self._learn_budget = learn_budget
         self._test_budget = test_budget
         self._max_candidates = max_candidates
@@ -169,6 +175,7 @@ class HistogramSession:
         epsilon: float,
         *,
         method: str | None = None,
+        engine: str | None = None,
         params: GreedyParams | None = None,
         max_candidates: int | None = None,
     ) -> LearnResult:
@@ -179,6 +186,7 @@ class HistogramSession:
         resolved sizes allow it.
         """
         method = self._method if method is None else method
+        engine = self._engine if engine is None else engine
         if max_candidates is None:
             max_candidates = self._max_candidates
         resolved = self._learn_params(k, epsilon, params)
@@ -192,6 +200,7 @@ class HistogramSession:
             epsilon,
             params=resolved,
             method=method,
+            engine=engine,
             compiled=compiled,
         )
 
@@ -225,6 +234,7 @@ class HistogramSession:
         grid: Iterable[tuple[int, float]],
         *,
         method: str | None = None,
+        engine: str | None = None,
         params: GreedyParams | None = None,
         max_candidates: int | None = None,
     ) -> list[LearnResult]:
@@ -238,7 +248,12 @@ class HistogramSession:
         self.prefetch_learn(points, params=params)
         return [
             self.learn(
-                k, epsilon, method=method, params=params, max_candidates=max_candidates
+                k,
+                epsilon,
+                method=method,
+                engine=engine,
+                params=params,
+                max_candidates=max_candidates,
             )
             for k, epsilon in points
         ]

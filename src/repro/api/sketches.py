@@ -14,6 +14,9 @@ are exchangeable, so the first ``m`` elements of a larger pool are a
 valid size-``m`` draw), which gives the session its central guarantee:
 a batch of ``(k, epsilon)`` operations issues at most one draw per
 family, and an operation whose sizes fit the existing pool issues none.
+Each pool is a capacity-doubling buffer with a length cursor
+(:class:`_GrowablePool`), so repeated budget bumps append in amortised
+O(1) per element; every consumer receives read-only views, never copies.
 
 Draw order is chosen to match the one-shot entry points exactly — a
 learn-family fill from empty performs the same ``sample()`` calls in the
@@ -35,10 +38,62 @@ from repro.core.greedy import (
     compile_greedy_sketches,
 )
 from repro.core.params import GreedyParams, TesterParams
+from repro.errors import InvalidParameterError
 from repro.samples.estimators import MultiSketch
 
 _LEARN = "learn"
 _TEST = "test"
+
+
+class _GrowablePool:
+    """A capacity-doubling sample buffer with a length cursor.
+
+    ``fill_to`` draws only the missing suffix and appends it in place;
+    the backing buffer doubles when exhausted, so a sequence of budget
+    bumps costs amortised O(1) per element instead of a full
+    reallocate-and-copy per bump.  ``view`` returns a read-only O(1)
+    slice — never a copy — so derived sketches keep holding views.
+    """
+
+    __slots__ = ("_buffer", "_length")
+
+    def __init__(self) -> None:
+        self._buffer = np.empty(0, dtype=np.int64)
+        self._length = 0
+
+    @property
+    def length(self) -> int:
+        """Number of samples currently in the pool."""
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        """Allocated buffer size (>= ``length``)."""
+        return int(self._buffer.shape[0])
+
+    def fill_to(self, size: int, draw) -> None:
+        """Grow the pool to ``size`` samples, drawing just the deficit."""
+        if size <= self._length:
+            return
+        if size > self._buffer.shape[0]:
+            capacity = max(size, 2 * self._buffer.shape[0])
+            buffer = np.empty(capacity, dtype=np.int64)
+            buffer[: self._length] = self._buffer[: self._length]
+            self._buffer = buffer
+        self._buffer[self._length : size] = np.asarray(
+            draw(size - self._length), dtype=np.int64
+        )
+        self._length = size
+
+    def view(self, size: int) -> np.ndarray:
+        """Read-only view of the first ``size`` pooled samples."""
+        if size > self._length:
+            raise InvalidParameterError(
+                f"pool holds {self._length} samples, cannot view {size}"
+            )
+        view = self._buffer[:size]
+        view.flags.writeable = False
+        return view
 
 
 class SketchBundle:
@@ -58,9 +113,9 @@ class SketchBundle:
         self._source = source
         self._n = int(n)
         self._rng = rng
-        self._weight_pool = np.empty(0, dtype=np.int64)
-        self._collision_pool: list[np.ndarray] = []
-        self._tester_pool: list[np.ndarray] = []
+        self._weight_pool = _GrowablePool()
+        self._collision_pool: list[_GrowablePool] = []
+        self._tester_pool: list[_GrowablePool] = []
         self._multi_cache: dict[tuple[int, int], MultiSketch] = {}
         self._compiled_cache: dict[tuple, CompiledGreedySketches] = {}
         self.draw_events = {_LEARN: 0, _TEST: 0}
@@ -73,7 +128,7 @@ class SketchBundle:
 
     def invalidate(self) -> None:
         """Drop every pool and cache (the source's contents changed)."""
-        self._weight_pool = np.empty(0, dtype=np.int64)
+        self._weight_pool = _GrowablePool()
         self._collision_pool = []
         self._tester_pool = []
         self._multi_cache = {}
@@ -87,47 +142,44 @@ class SketchBundle:
         self.samples_drawn += int(size)
         return np.asarray(self._source.sample(size, self._rng))
 
-    def _extend(self, pool: np.ndarray, size: int) -> np.ndarray:
-        if pool.shape[0] >= size:
-            return pool
-        return np.concatenate([pool, self._draw(size - pool.shape[0])])
-
     def ensure_learn_pool(self, params: GreedyParams) -> None:
         """Grow the learn-family pools to cover ``params``' sizes."""
         grew = (
-            self._weight_pool.shape[0] < params.weight_sample_size
+            self._weight_pool.length < params.weight_sample_size
             or len(self._collision_pool) < params.collision_sets
             or any(
-                s.shape[0] < params.collision_set_size
-                for s in self._collision_pool[: params.collision_sets]
+                pool.length < params.collision_set_size
+                for pool in self._collision_pool[: params.collision_sets]
             )
         )
         if not grew:
             return
         self.draw_events[_LEARN] += 1
-        self._weight_pool = self._extend(self._weight_pool, params.weight_sample_size)
+        self._weight_pool.fill_to(params.weight_sample_size, self._draw)
         # Only the sets this call will slice are extended; any further
         # pooled sets keep their size until a request actually needs them.
-        for i in range(min(len(self._collision_pool), params.collision_sets)):
-            self._collision_pool[i] = self._extend(
-                self._collision_pool[i], params.collision_set_size
-            )
+        for pool in self._collision_pool[: params.collision_sets]:
+            pool.fill_to(params.collision_set_size, self._draw)
         while len(self._collision_pool) < params.collision_sets:
-            self._collision_pool.append(self._draw(params.collision_set_size))
+            pool = _GrowablePool()
+            pool.fill_to(params.collision_set_size, self._draw)
+            self._collision_pool.append(pool)
 
     def ensure_tester_pool(self, params: TesterParams) -> None:
         """Grow the test-family pool to cover ``params``' sizes."""
         grew = len(self._tester_pool) < params.num_sets or any(
-            s.shape[0] < params.set_size
-            for s in self._tester_pool[: params.num_sets]
+            pool.length < params.set_size
+            for pool in self._tester_pool[: params.num_sets]
         )
         if not grew:
             return
         self.draw_events[_TEST] += 1
-        for i in range(min(len(self._tester_pool), params.num_sets)):
-            self._tester_pool[i] = self._extend(self._tester_pool[i], params.set_size)
+        for pool in self._tester_pool[: params.num_sets]:
+            pool.fill_to(params.set_size, self._draw)
         while len(self._tester_pool) < params.num_sets:
-            self._tester_pool.append(self._draw(params.set_size))
+            pool = _GrowablePool()
+            pool.fill_to(params.set_size, self._draw)
+            self._tester_pool.append(pool)
 
     # -------------------------------------------------------------- #
     # derived structures
@@ -137,10 +189,10 @@ class SketchBundle:
         """The learn-family draw of exactly ``params``' sizes (pool views)."""
         self.ensure_learn_pool(params)
         return GreedySamples(
-            self._weight_pool[: params.weight_sample_size],
+            self._weight_pool.view(params.weight_sample_size),
             tuple(
-                s[: params.collision_set_size]
-                for s in self._collision_pool[: params.collision_sets]
+                pool.view(params.collision_set_size)
+                for pool in self._collision_pool[: params.collision_sets]
             ),
         )
 
@@ -155,7 +207,10 @@ class SketchBundle:
 
         Compilation is memoised on the sizes actually consumed — a grid of
         ``(k, epsilon)`` points sharing one budget compiles once and then
-        only re-runs the (cheap) greedy rounds.
+        only re-runs the (cheap) greedy rounds.  The cached value carries
+        the round-invariant per-candidate self-cost vector (median of the
+        ``r`` collision estimates included), so repeat learns skip the
+        engine's single most expensive pass entirely.
         """
         samples = self.learn_samples(params)
         key = (
@@ -189,7 +244,10 @@ class SketchBundle:
         multi = self._multi_cache.get(key)
         if multi is None:
             multi = MultiSketch.from_sample_sets(
-                [s[: params.set_size] for s in self._tester_pool[: params.num_sets]],
+                [
+                    pool.view(params.set_size)
+                    for pool in self._tester_pool[: params.num_sets]
+                ],
                 self._n,
             )
             self._multi_cache[key] = multi

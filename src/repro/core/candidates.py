@@ -57,6 +57,17 @@ class CandidateSet:
             raise InvalidParameterError("points are not all on the grid")
         return idx
 
+    def intersecting(self, lo_index: int, hi_index: int) -> np.ndarray:
+        """Indices of candidates overlapping grid span ``[lo_index, hi_index]``.
+
+        The span denotes the half-open point region
+        ``[grid[lo_index], grid[hi_index])``; because the grid is strictly
+        increasing, overlap reduces to two integer comparisons per
+        candidate.  This is the greedy engine's dirty-region query: after
+        a commit, only candidates returned here can have changed scores.
+        """
+        return np.nonzero((self.hi > lo_index) & (self.lo < hi_index))[0]
+
     def subsample(
         self, max_candidates: int, rng: int | None | np.random.Generator = None
     ) -> "CandidateSet":

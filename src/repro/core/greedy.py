@@ -21,18 +21,34 @@ Two faithfulness details (README.md, "Design notes"):
   are re-added with *re-estimated* weights (Algorithm 1's ``I_L, I_R``
   recomputation), so every visible piece always carries the weight
   estimate of its visible extent.  The engine therefore keeps the state
-  eagerly flattened and reconstructs the paper's priority log alongside.
+  eagerly flattened and reports the paper's priority log alongside.
 
-Candidate scoring is vectorised: all candidate endpoints live on a fixed
-grid whose prefix sums (hit counts per sample set, pair counts per
-collision set) are compiled once; scoring a round is a constant number of
-gathers over the candidate arrays plus one median across the ``r`` sets.
+Scoring is *incremental* (README.md, "Incremental scoring").  A
+candidate's score decomposes as ``total + rel_J`` with
+
+``rel_J = self_J - removed_J + left_J + right_J``
+
+where ``self_J = z_J - y_J^2/|J|`` never changes across rounds (hoisted
+into :class:`CompiledGreedySketches` at compile time, median included),
+``removed_J`` is the summed cost of the segments the candidate covers,
+and ``left_J``/``right_J`` are the truncated-remainder costs.  Because a
+round repaints at most one interval and truncates at most two
+neighbours, ``rel_J`` can only change for candidates whose span
+intersects the segments changed by the last commit; everything else
+shifts by the same global ``total`` delta, which preserves the argmin
+order.  The engine therefore rescores only the dirty region each round
+and keeps candidate minima in a lazily-repaired block-argmin structure.
+``engine="full"`` rescores every candidate every round through the same
+code path, which is what makes the two modes byte-identical (the
+equivalence the test suite asserts).
 
 The module is split into three layers so samples can be reused across
 calls (see :class:`repro.api.HistogramSession`):
 
 * :func:`draw_greedy_samples` — the only part that touches the source;
-* :func:`compile_greedy_sketches` — candidate grid + prefix compilation;
+* :func:`compile_greedy_sketches` — candidate grid + prefix compilation
+  (one vectorised pass over all ``r`` collision sets) plus the
+  round-invariant per-candidate self-costs;
 * :func:`learn_from_samples` — the pure algorithm over those inputs.
 
 :func:`learn_histogram` is the classic one-shot composition of the three.
@@ -40,6 +56,7 @@ calls (see :class:`repro.api.HistogramSession`):
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,39 +76,127 @@ from repro.utils.prefix import pairs_count
 from repro.utils.rng import as_rng
 
 _METHODS = ("fast", "exhaustive")
+_ENGINES = ("incremental", "full")
+_SCORE_CHUNK = 200_000
+_GATHER_CHUNK = 1_000_000
+_ARGMIN_BLOCK = 2_048
 
 
-@dataclass
-class _Segment:
-    """One piece of the eagerly flattened state, in grid-index space."""
+def _piece_costs(
+    grid: np.ndarray,
+    weight_prefix: np.ndarray,
+    weight_total: float,
+    pair_prefix_cols: np.ndarray,
+    pairs_per_set: float,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    assigned: np.ndarray | bool,
+) -> np.ndarray:
+    """``z_I - y_I^2 / |I|`` for assigned pieces, ``z_I`` for gaps.
 
-    lo: int  # grid index of the left endpoint
-    hi: int  # grid index of the right endpoint
-    assigned: bool  # False = never-covered gap (value 0)
+    The one scoring expression shared by the compile-time self-cost pass,
+    the per-round remainder scoring, and the cached segment costs.  A
+    single code path is what makes a cached score bit-identical to a
+    fresh rescore — the invariant the incremental engine relies on.
+    """
+    lo = np.asarray(lo)
+    hi = np.asarray(hi)
+    lengths = (grid[hi] - grid[lo]).astype(np.float64)
+    per_set = (pair_prefix_cols[hi] - pair_prefix_cols[lo]) / pairs_per_set
+    z = np.median(per_set, axis=1)
+    y = (weight_prefix[hi] - weight_prefix[lo]) / weight_total
+    fitted = z - y * y / np.maximum(lengths, 1.0)
+    return np.where(np.asarray(assigned), fitted, z)
+
+
+def _candidate_self_costs(
+    candidates: CandidateSet,
+    weight_prefix: np.ndarray,
+    weight_total: float,
+    pair_prefix_cols: np.ndarray,
+    pairs_per_set: float,
+    chunk_size: int = _SCORE_CHUNK,
+) -> np.ndarray:
+    """Round-invariant ``z_J - y_J^2/|J|`` for every candidate (chunked)."""
+    out = np.empty(candidates.size, dtype=np.float64)
+    for start in range(0, candidates.size, chunk_size):
+        sl = slice(start, min(start + chunk_size, candidates.size))
+        out[sl] = _piece_costs(
+            candidates.grid,
+            weight_prefix,
+            weight_total,
+            pair_prefix_cols,
+            pairs_per_set,
+            candidates.lo[sl],
+            candidates.hi[sl],
+            True,
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """What one committed greedy round did, trace-ready.
+
+    ``neighbours`` holds the re-added truncated remainders of *assigned*
+    pieces (Algorithm 1's ``I_L, I_R``) with their re-estimated values,
+    in left-to-right order — exactly the pieces the priority log gains
+    this round besides ``chosen`` itself.
+    """
+
+    candidate_index: int
+    cost: float
+    weight_estimate: float
+    chosen: Interval
+    value: float
+    neighbours: list[tuple[Interval, float]]
+    rescored: int
 
 
 class _GreedyEngine:
-    """Vectorised implementation of the greedy rounds."""
+    """Vectorised greedy rounds with dirty-region incremental rescoring.
+
+    State per candidate: ``rel_J`` (score minus the shared ``total``
+    term), valid as of the last round that touched it.  State per
+    segment: grid-index endpoints, assignedness, and the cached piece
+    cost.  ``incremental=False`` rescans every candidate every round
+    through the same code path (the ``engine="full"`` reference).
+    """
 
     def __init__(
         self,
         candidates: CandidateSet,
         weight_prefix: np.ndarray,
         weight_total: int,
-        pair_prefixes: np.ndarray,
+        pair_prefix_cols: np.ndarray,
         pairs_per_set: float,
-        chunk_size: int = 200_000,
+        self_costs: np.ndarray,
+        incremental: bool = True,
     ) -> None:
         self._cands = candidates
         self._grid = candidates.grid
-        self._wprefix = weight_prefix.astype(np.float64)
+        self._wprefix = np.asarray(weight_prefix).astype(np.float64)
         self._wtotal = float(weight_total)
-        self._pprefixes = pair_prefixes.astype(np.float64)  # (r, G)
+        self._pp_cols = np.ascontiguousarray(pair_prefix_cols, dtype=np.float64)
         self._pairs_per_set = float(pairs_per_set)
-        self._chunk = int(chunk_size)
-        self._segments: list[_Segment] = [
-            _Segment(0, self._grid.size - 1, assigned=False)
+        self._self_cost = np.asarray(self_costs, dtype=np.float64)
+        self._incremental = bool(incremental)
+
+        last = self._grid.size - 1
+        self._seg_lo: list[int] = [0]
+        self._seg_hi: list[int] = [last]
+        self._seg_assigned: list[bool] = [False]
+        self._seg_cost: list[float] = [
+            float(self._piece_cost(np.asarray([0]), np.asarray([last]), False)[0])
         ]
+        # Everything is dirty before the first round.
+        self._dirty_lo = 0
+        self._dirty_hi = last
+
+        self._rel = np.full(candidates.size, np.inf)
+        self._block = _ARGMIN_BLOCK
+        num_blocks = max(1, -(-candidates.size // self._block))
+        self._block_min = np.full(num_blocks, np.inf)
 
     # -------------------------------------------------------------- #
     # estimate queries (grid-index space, vectorised)
@@ -101,124 +206,159 @@ class _GreedyEngine:
         """Weight estimates ``y`` over ``[grid[lo], grid[hi])``."""
         return (self._wprefix[hi] - self._wprefix[lo]) / self._wtotal
 
-    def _z(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
-        """Median-of-r absolute second-moment estimates ``z``."""
-        per_set = (self._pprefixes[:, hi] - self._pprefixes[:, lo]) / self._pairs_per_set
-        return np.median(per_set, axis=0)
-
     def _piece_cost(
-        self, lo: np.ndarray, hi: np.ndarray, assigned: np.ndarray
+        self, lo: np.ndarray, hi: np.ndarray, assigned: np.ndarray | bool
     ) -> np.ndarray:
         """``z_I - y_I^2 / |I|`` for assigned pieces, ``z_I`` for gaps."""
-        lo = np.asarray(lo)
-        hi = np.asarray(hi)
-        lengths = (self._grid[hi] - self._grid[lo]).astype(np.float64)
-        cost = self._z(lo, hi)
-        y = self._y(lo, hi)
-        fitted = cost - y * y / np.maximum(lengths, 1.0)
-        return np.where(np.asarray(assigned), fitted, cost)
+        return _piece_costs(
+            self._grid,
+            self._wprefix,
+            self._wtotal,
+            self._pp_cols,
+            self._pairs_per_set,
+            lo,
+            hi,
+            assigned,
+        )
 
     # -------------------------------------------------------------- #
     # one greedy round
     # -------------------------------------------------------------- #
 
-    def run_round(self) -> tuple[int, float, float]:
-        """Score all candidates; commit the argmin.
+    def run_round(self) -> RoundReport:
+        """Rescore the dirty region, commit the argmin, report the diff."""
+        if self._incremental:
+            dirty_lo, dirty_hi = self._dirty_lo, self._dirty_hi
+        else:
+            dirty_lo, dirty_hi = 0, self._grid.size - 1
+        dirty = self._cands.intersecting(dirty_lo, dirty_hi)
+        self._rescore(dirty)
+        best = self._argmin()
+        # ``total`` is shared by every candidate this round; summed fresh
+        # from the cached per-segment costs so both engine modes agree.
+        total = float(np.sum(np.asarray(self._seg_cost, dtype=np.float64)))
+        cost = float(total + self._rel[best])
+        lo = int(self._cands.lo[best])
+        hi = int(self._cands.hi[best])
+        chosen = Interval(int(self._grid[lo]), int(self._grid[hi]))
+        chosen_y = float(self._y(np.asarray([lo]), np.asarray([hi]))[0])
+        neighbours = self._apply(best)
+        return RoundReport(
+            candidate_index=best,
+            cost=cost,
+            weight_estimate=chosen_y,
+            chosen=chosen,
+            value=chosen_y / chosen.length,
+            neighbours=neighbours,
+            rescored=int(dirty.size),
+        )
 
-        Returns ``(candidate_index, cost, weight_estimate_of_chosen)``.
+    def _rescore(self, indices: np.ndarray) -> None:
+        """Refresh ``rel`` for ``indices`` and repair their argmin blocks.
+
+        Every segment-dependent score term factors through a single
+        candidate endpoint: the containing segment ``ia`` and the left
+        remainder depend only on ``cand_lo``, ``ib`` and the right
+        remainder only on ``cand_hi``, and the removed-cost term on the
+        ``(ia, ib)`` pair.  So each round tabulates those once per *grid
+        point* — O(G r) median work — and scoring a candidate is three
+        pure gathers, with no per-candidate median at all.
         """
-        seg_lo = np.array([s.lo for s in self._segments], dtype=np.int64)
-        seg_hi = np.array([s.hi for s in self._segments], dtype=np.int64)
-        seg_assigned = np.array([s.assigned for s in self._segments])
-        seg_cost = self._piece_cost(seg_lo, seg_hi, seg_assigned)
-        cost_prefix = np.concatenate(([0.0], np.cumsum(seg_cost)))
-        total = float(cost_prefix[-1])
-        seg_start_points = self._grid[seg_lo]
-
-        best_cost = np.inf
-        best_index = -1
-        for chunk_start in range(0, self._cands.size, self._chunk):
-            sl = slice(chunk_start, min(chunk_start + self._chunk, self._cands.size))
-            cost = self._score_chunk(
-                self._cands.lo[sl],
-                self._cands.hi[sl],
-                seg_lo,
-                seg_hi,
-                seg_assigned,
-                cost_prefix,
-                seg_start_points,
-                total,
-            )
-            local = int(np.argmin(cost))
-            if cost[local] < best_cost:
-                best_cost = float(cost[local])
-                best_index = chunk_start + local
-        chosen_y = float(
-            self._y(
-                np.asarray([self._cands.lo[best_index]]),
-                np.asarray([self._cands.hi[best_index]]),
-            )[0]
-        )
-        self._apply(best_index)
-        return best_index, best_cost, chosen_y
-
-    def _score_chunk(
-        self,
-        cand_lo: np.ndarray,
-        cand_hi: np.ndarray,
-        seg_lo: np.ndarray,
-        seg_hi: np.ndarray,
-        seg_assigned: np.ndarray,
-        cost_prefix: np.ndarray,
-        seg_start_points: np.ndarray,
-        total: float,
-    ) -> np.ndarray:
+        if indices.size == 0:
+            return
+        seg_lo = np.asarray(self._seg_lo, dtype=np.int64)
+        seg_hi = np.asarray(self._seg_hi, dtype=np.int64)
+        seg_assigned = np.asarray(self._seg_assigned, dtype=bool)
+        seg_costs = np.asarray(self._seg_cost, dtype=np.float64)
+        # removed[a, b]: summed cost of segments a..b, accumulated fresh
+        # from a (never as a difference of running prefixes) so the value
+        # for an untouched segment range is bitwise round-stable.
+        count = seg_lo.size
+        removed = np.zeros((count, count))
+        for a in range(count):
+            removed[a, a:] = np.cumsum(seg_costs[a:])
         grid = self._grid
-        a_pts = grid[cand_lo]
-        b_pts = grid[cand_hi]
-        # Segment containing the candidate's first / last covered point.
-        ia = np.searchsorted(seg_start_points, a_pts, side="right") - 1
-        ib = np.searchsorted(seg_start_points, b_pts - 1, side="right") - 1
-        removed = cost_prefix[ib + 1] - cost_prefix[ia]
+        seg_starts = grid[seg_lo]
+        points = np.arange(grid.size, dtype=np.int64)
+        # Segment containing each grid point / the point just before it.
+        ia = np.searchsorted(seg_starts, grid, side="right") - 1
+        ib = np.searchsorted(seg_starts, grid - 1, side="right") - 1
+        # Left remainder [segment start, a) for a candidate starting at a.
+        lcost = self._piece_cost(seg_lo[ia], points, seg_assigned[ia])
+        left_term = np.where(seg_starts[ia] < grid, lcost, 0.0)
+        # Right remainder [b, segment stop) for a candidate ending at b.
+        rcost = self._piece_cost(points, seg_hi[ib], seg_assigned[ib])
+        right_term = np.where(grid[seg_hi[ib]] > grid, rcost, 0.0)
+        for start in range(0, indices.size, _GATHER_CHUNK):
+            part = indices[start : start + _GATHER_CHUNK]
+            cand_lo = self._cands.lo[part]
+            cand_hi = self._cands.hi[part]
+            rel = self._self_cost[part] - removed[ia[cand_lo], ib[cand_hi]]
+            rel = rel + left_term[cand_lo]
+            rel = rel + right_term[cand_hi]
+            self._rel[part] = rel
+        for b in np.unique(indices // self._block):
+            begin = int(b) * self._block
+            self._block_min[b] = self._rel[begin : begin + self._block].min()
 
-        # Candidate piece itself.
-        cost = total - removed + self._piece_cost(
-            cand_lo, cand_hi, np.ones(cand_lo.shape, dtype=bool)
-        )
+    def _argmin(self) -> int:
+        """Global first-minimum via the block minima (ties break low)."""
+        block = int(np.argmin(self._block_min))
+        begin = block * self._block
+        within = self._rel[begin : begin + self._block]
+        return begin + int(np.argmin(within))
 
-        # Left remainder [segment start, a).
-        left_lo = seg_lo[ia]
-        has_left = grid[left_lo] < a_pts
-        if np.any(has_left):
-            lcost = self._piece_cost(left_lo, cand_lo, seg_assigned[ia])
-            cost += np.where(has_left, lcost, 0.0)
+    def _apply(self, candidate_index: int) -> list[tuple[Interval, float]]:
+        """Commit a candidate: truncate neighbours, insert the new piece.
 
-        # Right remainder [b, segment stop).
-        right_hi = seg_hi[ib]
-        has_right = grid[right_hi] > b_pts
-        if np.any(has_right):
-            rcost = self._piece_cost(cand_hi, right_hi, seg_assigned[ib])
-            cost += np.where(has_right, rcost, 0.0)
-        return cost
-
-    def _apply(self, candidate_index: int) -> None:
-        """Commit a candidate: truncate neighbours, insert the new piece."""
+        Returns the re-added *assigned* remainders (left-to-right) with
+        their re-estimated values, and records the dirty grid-index span
+        — the full original extent of every segment this commit touched —
+        for the next round's rescoring.
+        """
         lo = int(self._cands.lo[candidate_index])
         hi = int(self._cands.hi[candidate_index])
-        a_pt, b_pt = int(self._grid[lo]), int(self._grid[hi])
-        new_segments: list[_Segment] = []
-        for seg in self._segments:
-            s_pt, e_pt = int(self._grid[seg.lo]), int(self._grid[seg.hi])
-            if e_pt <= a_pt or s_pt >= b_pt:
-                new_segments.append(seg)
+        # Affected segments: seg_hi > lo and seg_lo < hi (both sorted).
+        first = bisect_right(self._seg_hi, lo)
+        last = bisect_left(self._seg_lo, hi) - 1
+        dirty_lo = self._seg_lo[first]
+        dirty_hi = self._seg_hi[last]
+
+        pieces: list[tuple[int, int, bool]] = []
+        left: tuple[int, int, bool] | None = None
+        right: tuple[int, int, bool] | None = None
+        if dirty_lo < lo:
+            left = (dirty_lo, lo, self._seg_assigned[first])
+            pieces.append(left)
+        pieces.append((lo, hi, True))
+        if dirty_hi > hi:
+            right = (hi, dirty_hi, self._seg_assigned[last])
+            pieces.append(right)
+
+        costs = self._piece_cost(
+            np.asarray([p[0] for p in pieces]),
+            np.asarray([p[1] for p in pieces]),
+            np.asarray([p[2] for p in pieces]),
+        )
+        self._seg_lo[first : last + 1] = [p[0] for p in pieces]
+        self._seg_hi[first : last + 1] = [p[1] for p in pieces]
+        self._seg_assigned[first : last + 1] = [p[2] for p in pieces]
+        self._seg_cost[first : last + 1] = [float(c) for c in costs]
+        self._dirty_lo = dirty_lo
+        self._dirty_hi = dirty_hi
+
+        neighbours: list[tuple[Interval, float]] = []
+        for remainder in (left, right):
+            if remainder is None or not remainder[2]:
                 continue
-            if s_pt < a_pt:
-                new_segments.append(_Segment(seg.lo, lo, seg.assigned))
-            if e_pt > b_pt:
-                new_segments.append(_Segment(hi, seg.hi, seg.assigned))
-        new_segments.append(_Segment(lo, hi, assigned=True))
-        new_segments.sort(key=lambda s: s.lo)
-        self._segments = new_segments
+            interval = Interval(
+                int(self._grid[remainder[0]]), int(self._grid[remainder[1]])
+            )
+            y = float(
+                self._y(np.asarray([remainder[0]]), np.asarray([remainder[1]]))[0]
+            )
+            neighbours.append((interval, y / interval.length))
+        return neighbours
 
     # -------------------------------------------------------------- #
     # output
@@ -227,8 +367,10 @@ class _GreedyEngine:
     def segments(self) -> list[tuple[Interval, bool]]:
         """Current flattened segments as ``(interval, assigned)`` pairs."""
         return [
-            (Interval(int(self._grid[s.lo]), int(self._grid[s.hi])), s.assigned)
-            for s in self._segments
+            (Interval(int(self._grid[lo]), int(self._grid[hi])), assigned)
+            for lo, hi, assigned in zip(
+                self._seg_lo, self._seg_hi, self._seg_assigned
+            )
         ]
 
     def to_tiling(self, n: int, fill_gaps: bool = False) -> TilingHistogram:
@@ -243,11 +385,11 @@ class _GreedyEngine:
         """
         boundaries = [0]
         values = []
-        for seg in self._segments:
-            start, stop = int(self._grid[seg.lo]), int(self._grid[seg.hi])
+        for lo, hi, assigned in zip(self._seg_lo, self._seg_hi, self._seg_assigned):
+            start, stop = int(self._grid[lo]), int(self._grid[hi])
             boundaries.append(stop)
-            if seg.assigned or fill_gaps:
-                y = float(self._y(np.asarray([seg.lo]), np.asarray([seg.hi]))[0])
+            if assigned or fill_gaps:
+                y = float(self._y(np.asarray([lo]), np.asarray([hi]))[0])
                 values.append(y / (stop - start))
             else:
                 values.append(0.0)
@@ -298,14 +440,32 @@ class CompiledGreedySketches:
     """Candidate grid plus compiled prefix sketches (the learner's input).
 
     Produced by :func:`compile_greedy_sketches`; building it is the
-    expensive per-draw work (sorting, uniquing, prefix compilation) that
+    expensive per-draw work (sorting, uniquing, prefix compilation, and
+    the median-of-``r`` self-cost pass) that
     :class:`repro.api.HistogramSession` caches across calls.
+
+    Attributes
+    ----------
+    candidates / weight_set / weight_prefix:
+        The candidate grid and the weight sample compiled onto it.
+    pair_prefix_cols:
+        The ``r`` collision sets' pair-count prefixes in a C-contiguous
+        ``(G, r)`` float64 layout: gathering one grid endpoint fetches
+        all ``r`` prefix values from one contiguous stretch (the
+        engine's hot gather).
+    self_costs:
+        Per-candidate ``z_J - y_J^2/|J|`` — including the median across
+        the ``r`` sets — which never changes across greedy rounds.
+    pairs_per_set:
+        ``C(m, 2)``, the collision-count normaliser.
     """
 
     candidates: CandidateSet
     weight_set: "SampleSet"
     weight_prefix: np.ndarray
-    pair_prefixes: np.ndarray
+    pair_prefix_cols: np.ndarray
+    self_costs: np.ndarray
+    pairs_per_set: float
 
 
 def draw_greedy_samples(
@@ -344,6 +504,11 @@ def compile_greedy_sketches(
     forces a subsample).  The result depends on the sample *contents*,
     so it is reusable by any number of ``(k, epsilon)`` learn calls over
     the same draw.
+
+    All ``r`` collision sets are compiled in one vectorised sort/unique
+    pass (:func:`repro.samples.collision.batched_pair_prefixes`), and the
+    per-candidate self-costs — the median-of-``r`` part of every score —
+    are hoisted here because they are invariant across greedy rounds.
     """
     if method not in _METHODS:
         raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
@@ -354,18 +519,32 @@ def compile_greedy_sketches(
     if max_candidates is not None:
         candidates = candidates.subsample(max_candidates, as_rng(rng))
 
-    from repro.samples.collision import CollisionSketch
+    from repro.samples.collision import batched_pair_prefixes
     from repro.samples.sample_set import SampleSet
 
     weight_set = SampleSet(samples.weight_samples, n)
     weight_prefix = weight_set.count_prefix_on_grid(candidates.grid)
-    pair_prefixes = np.stack(
-        [
-            CollisionSketch(s, n).prefixes_on_grid(candidates.grid)[1]
-            for s in samples.collision_sets
-        ]
+    pair_prefix_cols = np.ascontiguousarray(
+        batched_pair_prefixes(samples.collision_sets, n, candidates.grid).T,
+        dtype=np.float64,
     )
-    return CompiledGreedySketches(candidates, weight_set, weight_prefix, pair_prefixes)
+    set_size = samples.collision_sets[0].shape[0] if samples.collision_sets else 0
+    pairs_per_set = float(pairs_count(set_size))
+    self_costs = _candidate_self_costs(
+        candidates,
+        weight_prefix.astype(np.float64),
+        float(weight_set.size),
+        pair_prefix_cols,
+        pairs_per_set,
+    )
+    return CompiledGreedySketches(
+        candidates,
+        weight_set,
+        weight_prefix,
+        pair_prefix_cols,
+        self_costs,
+        pairs_per_set,
+    )
 
 
 def learn_from_samples(
@@ -376,6 +555,7 @@ def learn_from_samples(
     *,
     params: GreedyParams,
     method: str = "fast",
+    engine: str = "incremental",
     max_candidates: int | None = None,
     rng: int | None | np.random.Generator = None,
     compiled: CompiledGreedySketches | None = None,
@@ -387,9 +567,16 @@ def learn_from_samples(
     the same :class:`LearnResult` the one-shot entry point would.  Pass
     ``compiled`` (from :func:`compile_greedy_sketches` over the same
     samples) to skip the grid/prefix compilation.
+
+    ``engine`` selects ``"incremental"`` (dirty-region rescoring, the
+    default) or ``"full"`` (rescore every candidate every round — the
+    reference path the equivalence tests compare against); the two are
+    byte-identical by construction.
     """
     if method not in _METHODS:
         raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
+    if engine not in _ENGINES:
+        raise InvalidParameterError(f"engine must be one of {_ENGINES}, got {engine!r}")
     if not samples.matches(params):
         raise InvalidParameterError(
             "sample array sizes do not match params "
@@ -403,58 +590,40 @@ def learn_from_samples(
             samples, n, method=method, max_candidates=max_candidates, rng=rng
         )
     candidates = compiled.candidates
-    weight_set = compiled.weight_set
-    engine = _GreedyEngine(
+    engine_obj = _GreedyEngine(
         candidates,
         compiled.weight_prefix,
-        params.weight_sample_size,
-        compiled.pair_prefixes,
-        pairs_count(params.collision_set_size),
+        compiled.weight_set.size,
+        compiled.pair_prefix_cols,
+        compiled.pairs_per_set,
+        compiled.self_costs,
+        incremental=(engine == "incremental"),
     )
 
     rounds: list[GreedyRound] = []
     trace: list[tuple[Interval, float, list[tuple[Interval, float]]]] = []
     for round_index in range(params.rounds):
-        before = {
-            (interval.start, interval.stop)
-            for interval, assigned in engine.segments()
-            if assigned
-        }
-        cand_index, cost, y_chosen = engine.run_round()
-        chosen = Interval(
-            int(candidates.grid[candidates.lo[cand_index]]),
-            int(candidates.grid[candidates.hi[cand_index]]),
-        )
-        # Neighbour pieces re-added by this round (Algorithm 1's I_L, I_R):
-        # assigned segments that exist now but did not before, other than
-        # the chosen interval itself.
-        neighbours: list[tuple[Interval, float]] = []
-        for interval, assigned in engine.segments():
-            key = (interval.start, interval.stop)
-            if not assigned or key in before or interval == chosen:
-                continue
-            y = weight_set.fraction(interval.start, interval.stop)
-            neighbours.append((interval, y / interval.length))
-        trace.append((chosen, y_chosen / chosen.length, neighbours))
+        report = engine_obj.run_round()
+        trace.append((report.chosen, report.value, report.neighbours))
         rounds.append(
             GreedyRound(
                 round_index=round_index,
-                chosen=chosen,
-                weight_estimate=y_chosen,
-                estimated_cost=cost,
+                chosen=report.chosen,
+                weight_estimate=report.weight_estimate,
+                estimated_cost=report.cost,
                 candidates_evaluated=candidates.size,
             )
         )
 
     return LearnResult(
-        histogram=engine.to_tiling(n),
+        histogram=engine_obj.to_tiling(n),
         priority_histogram=_build_priority_log(n, trace),
         params=params,
         rounds=rounds,
         method=method,
         num_candidates=candidates.size,
         samples_used=params.total_samples,
-        filled_histogram=engine.to_tiling(n, fill_gaps=True),
+        filled_histogram=engine_obj.to_tiling(n, fill_gaps=True),
     )
 
 
@@ -465,6 +634,7 @@ def learn_histogram(
     epsilon: float,
     *,
     method: str = "fast",
+    engine: str = "incremental",
     scale: float = 1.0,
     params: GreedyParams | None = None,
     max_candidates: int | None = None,
@@ -497,6 +667,10 @@ def learn_histogram(
         ``"exhaustive"`` scores all ``C(n, 2)`` intervals per round
         (Algorithm 1); ``"fast"`` scores only intervals with endpoints in
         the sample-derived set ``T'`` (Theorem 2).
+    engine:
+        ``"incremental"`` (default) rescores only the dirty region each
+        round; ``"full"`` rescores everything — same results, kept for
+        the equivalence tests.
     scale:
         Multiplier on the paper's sample sizes (see
         :mod:`repro.core.params`).
@@ -527,6 +701,7 @@ def learn_histogram(
         epsilon,
         params=params,
         method=method,
+        engine=engine,
         max_candidates=max_candidates,
         rng=generator,
     )

@@ -10,7 +10,11 @@
   ``||p_I||_2^2`` estimator of Eq. 2, and their median-of-r combinations.
 """
 
-from repro.samples.collision import CollisionSketch, collision_count
+from repro.samples.collision import (
+    CollisionSketch,
+    batched_pair_prefixes,
+    collision_count,
+)
 from repro.samples.estimators import (
     MultiSketch,
     absolute_second_moment_estimate,
@@ -25,6 +29,7 @@ __all__ = [
     "MultiSketch",
     "SampleSet",
     "absolute_second_moment_estimate",
+    "batched_pair_prefixes",
     "collision_count",
     "conditional_norm_estimate",
     "observed_collision_probability",

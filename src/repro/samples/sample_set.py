@@ -88,10 +88,13 @@ class SampleSet:
 
         For a sorted point array ``grid``, returns ``P`` with
         ``P[i] = |{s in S : s < grid[i]}|`` so that the count over
-        ``[grid[i], grid[j])`` is ``P[j] - P[i]``.
+        ``[grid[i], grid[j])`` is ``P[j] - P[i]``.  The dtype
+        normalisation is copy-free where ``searchsorted`` already
+        produced int64 (every 64-bit platform), keeping the compile path
+        allocation-light.
         """
         return np.searchsorted(self._sorted, np.asarray(grid), side="left").astype(
-            np.int64
+            np.int64, copy=False
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -8,7 +8,11 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
-from repro.samples.collision import CollisionSketch, collision_count
+from repro.samples.collision import (
+    CollisionSketch,
+    batched_pair_prefixes,
+    collision_count,
+)
 from repro.utils.prefix import pairs_count
 
 
@@ -93,6 +97,55 @@ class TestCollisionSketch:
         starts = rng.integers(0, 50, size=20)
         stops = starts + rng.integers(1, 50, size=20)
         assert np.all(np.asarray(sketch.collisions(starts, stops)) >= 0)
+
+
+class TestBatchedPrefixes:
+    """The one-pass compile must equal r sequential sketch compiles."""
+
+    def test_matches_per_set_sketches(self, rng):
+        n = 50
+        sets = [rng.integers(0, n, size=size) for size in (0, 1, 40, 200)]
+        grid = np.unique(
+            np.concatenate([[0, n], rng.integers(0, n + 1, size=12)])
+        )
+        batched = batched_pair_prefixes(sets, n, grid)
+        stacked = np.stack(
+            [CollisionSketch(s, n).prefixes_on_grid(grid)[1] for s in sets]
+        )
+        assert batched.dtype == np.int64
+        assert batched.flags.c_contiguous
+        assert np.array_equal(batched, stacked)
+
+    def test_no_sets(self):
+        assert batched_pair_prefixes([], 10, np.array([0, 10])).shape == (0, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            batched_pair_prefixes([np.array([5])], 5, np.array([0, 5]))
+
+    def test_grid_beyond_domain_rejected(self):
+        """A grid point past n would read the next set's stripe."""
+        with pytest.raises(InvalidParameterError):
+            batched_pair_prefixes(
+                [np.array([1, 1, 2]), np.array([3, 3, 3])], 10, np.array([0, 5, 15])
+            )
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=7), max_size=30),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_matches_per_set_property(self, raw_sets):
+        n = 8
+        sets = [np.array(s, dtype=np.int64) for s in raw_sets]
+        grid = np.arange(n + 1)
+        batched = batched_pair_prefixes(sets, n, grid)
+        stacked = np.stack(
+            [CollisionSketch(s, n).prefixes_on_grid(grid)[1] for s in sets]
+        )
+        assert np.array_equal(batched, stacked)
 
 
 class TestScaling:

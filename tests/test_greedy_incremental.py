@@ -1,0 +1,164 @@
+"""Equivalence of the incremental greedy engine against the full rescorer.
+
+The incremental engine (``engine="incremental"``) rescores only the
+candidates whose span intersects the segments changed by the last commit;
+``engine="full"`` rescores every candidate every round through the same
+code path.  The contract is *byte*-identity: same chosen intervals, same
+estimated costs, same traces — not just statistical agreement.  These
+tests pin that contract on one-shot learns, on session grids, and (the
+property at the heart of the design) on the cached candidate totals
+themselves after every single round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import HistogramSession
+from repro.core.greedy import (
+    _GreedyEngine,
+    compile_greedy_sketches,
+    draw_greedy_samples,
+    learn_histogram,
+)
+from repro.core.params import GreedyParams
+from repro.distributions import families
+from repro.errors import InvalidParameterError
+
+GRID = [(2, 0.3), (4, 0.25), (6, 0.2)]
+PARAMS = GreedyParams(
+    weight_sample_size=1_500, collision_sets=5, collision_set_size=600, rounds=6
+)
+
+
+def assert_results_identical(a, b):
+    """Field-by-field byte-identity of two LearnResults."""
+    assert a.histogram == b.histogram
+    assert a.filled_histogram == b.filled_histogram
+    assert a.priority_histogram.to_tiling() == b.priority_histogram.to_tiling()
+    assert a.rounds == b.rounds  # exact float equality on costs/weights
+    assert a.method == b.method
+    assert a.num_candidates == b.num_candidates
+    assert a.samples_used == b.samples_used
+
+
+class TestLearnEquivalence:
+    """One-shot learns: incremental == full, bit for bit."""
+
+    @pytest.mark.parametrize("method", ["fast", "exhaustive"])
+    @pytest.mark.parametrize("seed", [1, 17, 92])
+    def test_fresh_draw_equivalence(self, method, seed):
+        dist = families.zipf(128, 1.0)
+        incremental = learn_histogram(
+            dist, 128, 4, 0.25, method=method, scale=0.05, rng=seed
+        )
+        full = learn_histogram(
+            dist, 128, 4, 0.25, method=method, engine="full", scale=0.05, rng=seed
+        )
+        assert_results_identical(incremental, full)
+
+    @pytest.mark.parametrize("method", ["fast", "exhaustive"])
+    def test_structured_distribution(self, method):
+        dist = families.random_tiling_histogram(96, 5, rng=3, min_piece=4)
+        incremental = learn_histogram(
+            dist, 96, 5, 0.3, method=method, params=PARAMS, rng=11
+        )
+        full = learn_histogram(
+            dist, 96, 5, 0.3, method=method, engine="full", params=PARAMS, rng=11
+        )
+        assert_results_identical(incremental, full)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            learn_histogram(
+                families.uniform(16), 16, 2, 0.5, engine="magic", params=PARAMS, rng=1
+            )
+
+
+class TestSessionEquivalence:
+    """A (k, eps) grid through HistogramSession: engines agree per point."""
+
+    @pytest.mark.parametrize("method", ["fast", "exhaustive"])
+    def test_learn_many_grid(self, method):
+        dist = families.zipf(128, 1.0)
+        inc_session = HistogramSession(
+            dist, 128, rng=5, method=method, learn_budget=PARAMS
+        )
+        full_session = HistogramSession(
+            dist, 128, rng=5, method=method, engine="full", learn_budget=PARAMS
+        )
+        for a, b in zip(inc_session.learn_many(GRID), full_session.learn_many(GRID)):
+            assert_results_identical(a, b)
+
+    def test_engine_override_per_call(self):
+        dist = families.zipf(64, 1.0)
+        session = HistogramSession(dist, 64, rng=2, learn_budget=PARAMS)
+        a = session.learn(3, 0.3)
+        b = session.learn(3, 0.3, engine="full")
+        assert_results_identical(a, b)
+
+
+def _lockstep_engines(n, seed, method):
+    """Two engines (incremental / full) over one compiled draw."""
+    dist = families.random_tiling_histogram(n, 3, rng=seed % 7 + 1, min_piece=2)
+    params = GreedyParams(
+        weight_sample_size=400, collision_sets=3, collision_set_size=300, rounds=8
+    )
+    samples = draw_greedy_samples(dist, params, seed)
+    compiled = compile_greedy_sketches(samples, n, method=method)
+    engines = tuple(
+        _GreedyEngine(
+            compiled.candidates,
+            compiled.weight_prefix,
+            compiled.weight_set.size,
+            compiled.pair_prefix_cols,
+            compiled.pairs_per_set,
+            compiled.self_costs,
+            incremental=incremental,
+        )
+        for incremental in (True, False)
+    )
+    return engines, params.rounds
+
+
+class TestCachedTotalsProperty:
+    """After every round, cached candidate totals == full rescoring.
+
+    This is the dirty-region invariant stated in README.md ("Incremental
+    scoring"): a clean candidate's cached ``rel`` must be bitwise equal
+    to what a from-scratch rescore would produce, round after round.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_cached_rel_matches_full_rescore(self, seed):
+        n = 32 + seed % 3 * 16
+        method = "exhaustive" if seed % 2 else "fast"
+        (incremental, full), rounds = _lockstep_engines(n, seed, method)
+        for _ in range(rounds):
+            a = incremental.run_round()
+            b = full.run_round()
+            # Identical commit and trace (rescored differs by design).
+            assert a.candidate_index == b.candidate_index
+            assert a.cost == b.cost
+            assert a.weight_estimate == b.weight_estimate
+            assert a.chosen == b.chosen
+            assert a.value == b.value
+            assert a.neighbours == b.neighbours
+            assert np.array_equal(incremental._rel, full._rel)
+            assert incremental._seg_lo == full._seg_lo
+            assert incremental._seg_hi == full._seg_hi
+            assert incremental._seg_cost == full._seg_cost
+            # The incremental engine never rescans more than the full one.
+            assert a.rescored <= b.rescored
+
+    def test_rescored_counts_shrink(self):
+        """Steady-state rounds touch a strict subset of the candidates."""
+        (incremental, _), rounds = _lockstep_engines(64, 5, "fast")
+        reports = [incremental.run_round() for _ in range(rounds)]
+        total = incremental._cands.size
+        assert reports[0].rescored == total
+        assert min(r.rescored for r in reports[1:]) < total

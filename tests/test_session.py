@@ -263,3 +263,59 @@ class TestSessionBehaviour:
         session = HistogramSession(values, N, rng=1, scale=0.05)
         result = session.learn(4, 0.3)
         assert result.histogram.n == N
+
+
+class TestGrowablePool:
+    """Capacity-doubling pools: amortised growth, draw-only-the-deficit."""
+
+    def test_fill_draws_only_deficit(self):
+        from repro.api.sketches import _GrowablePool
+
+        drawn = []
+
+        def draw(count):
+            drawn.append(count)
+            return np.arange(count)
+
+        pool = _GrowablePool()
+        pool.fill_to(10, draw)
+        pool.fill_to(10, draw)  # no-op
+        pool.fill_to(25, draw)
+        assert drawn == [10, 15]
+        assert pool.length == 25
+        assert list(pool.view(25)) == list(range(10)) + list(range(15))
+
+    def test_views_are_read_only_and_zero_copy(self):
+        from repro.api.sketches import _GrowablePool
+
+        pool = _GrowablePool()
+        pool.fill_to(8, lambda count: np.arange(count))
+        view = pool.view(4)
+        assert view.base is not None  # a view into the buffer, not a copy
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+    def test_capacity_doubles(self):
+        from repro.api.sketches import _GrowablePool
+
+        pool = _GrowablePool()
+        pool.fill_to(4, lambda count: np.zeros(count, dtype=np.int64))
+        pool.fill_to(5, lambda count: np.zeros(count, dtype=np.int64))
+        assert pool.capacity >= 8  # doubled, not resized-to-fit
+        pool.fill_to(6, lambda count: np.zeros(count, dtype=np.int64))
+        assert pool.capacity >= 8
+
+    def test_budget_bumps_keep_prefix(self):
+        """Repeated learn budget bumps re-use the drawn prefix unchanged."""
+        session = HistogramSession(DIST, N, rng=4)
+        small = GreedyParams(
+            weight_sample_size=500, collision_sets=3, collision_set_size=300, rounds=2
+        )
+        big = GreedyParams(
+            weight_sample_size=900, collision_sets=4, collision_set_size=700, rounds=2
+        )
+        first = session._bundle.learn_samples(small)
+        prefix = first.weight_samples.copy()
+        second = session._bundle.learn_samples(big)
+        assert np.array_equal(second.weight_samples[:500], prefix)
+        assert session.draw_events == {"learn": 2, "test": 0}
