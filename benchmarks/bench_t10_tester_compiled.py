@@ -1,0 +1,116 @@
+"""T10 — the compiled tester engine vs the per-query path.
+
+Each workload is benchmarked twice over one prebuilt
+:class:`~repro.samples.estimators.MultiSketch` — ``engine="compiled"``
+(including its compile step, so every round pays the cold cost) and
+``engine="full"`` — and the pairs feed ``BENCH_tester.json`` via
+``benchmarks/record_tester_bench.py``.  Two workloads:
+
+* a 4-point l2 ``test_many``-style grid (the session batch shape;
+  acceptance bar: the compiled pair must show >= 3x);
+* one large l1 test on a sawtooth — Algorithm 2's worst case, committing
+  ``k`` short pieces at ~14 binary-search probes each.
+
+Results are asserted byte-identical across engines on every round.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.flatness import compile_tester_sketches
+from repro.core.params import TesterParams
+
+# Alias the paper-named ``test*`` functions so pytest does not collect them.
+from repro.core.tester import test_l1_on_sketch as l1_on_sketch
+from repro.core.tester import test_l2_on_sketch as l2_on_sketch
+from repro.distributions import families
+from repro.samples.estimators import MultiSketch
+
+GRID_N = 4_096
+GRID_PARAMS = TesterParams(num_sets=15, set_size=60_000)
+GRID = [(2, 0.3), (4, 0.25), (6, 0.25), (8, 0.2)]
+
+LARGE_N = 16_384
+LARGE_PARAMS = TesterParams(num_sets=21, set_size=120_000)
+LARGE_K = 64
+LARGE_EPS = 0.25
+
+
+@lru_cache(maxsize=None)
+def _grid_multi() -> MultiSketch:
+    dist = families.zipf(GRID_N, 1.0)
+    return MultiSketch.from_sample_sets(
+        dist.sample_sets(
+            GRID_PARAMS.num_sets, GRID_PARAMS.set_size, np.random.default_rng(1)
+        ),
+        GRID_N,
+    )
+
+
+@lru_cache(maxsize=None)
+def _large_multi() -> MultiSketch:
+    dist = families.sawtooth(LARGE_N)
+    return MultiSketch.from_sample_sets(
+        dist.sample_sets(
+            LARGE_PARAMS.num_sets, LARGE_PARAMS.set_size, np.random.default_rng(2)
+        ),
+        LARGE_N,
+    )
+
+
+def _grid_compiled():
+    multi = _grid_multi()
+    compiled = compile_tester_sketches(multi)  # cold compile every round
+    return [
+        l2_on_sketch(
+            multi, GRID_N, k, eps, GRID_PARAMS, engine="compiled", compiled=compiled
+        )
+        for k, eps in GRID
+    ]
+
+
+def _grid_full():
+    multi = _grid_multi()
+    return [
+        l2_on_sketch(multi, GRID_N, k, eps, GRID_PARAMS, engine="full")
+        for k, eps in GRID
+    ]
+
+
+def _large_compiled():
+    return l1_on_sketch(
+        _large_multi(), LARGE_N, LARGE_K, LARGE_EPS, LARGE_PARAMS, engine="compiled"
+    )
+
+
+def _large_full():
+    return l1_on_sketch(
+        _large_multi(), LARGE_N, LARGE_K, LARGE_EPS, LARGE_PARAMS, engine="full"
+    )
+
+
+def test_tester_grid_kernel(benchmark):
+    """4-point l2 grid on the compiled engine (cold compile included)."""
+    results = benchmark.pedantic(_grid_compiled, rounds=5, iterations=1, warmup_rounds=1)
+    assert results == _grid_full()  # byte-identical verdicts and logs
+
+
+def test_tester_grid_kernel_full(benchmark):
+    """4-point l2 grid on the per-query reference path."""
+    results = benchmark.pedantic(_grid_full, rounds=5, iterations=1, warmup_rounds=1)
+    assert len(results) == len(GRID)
+
+
+def test_tester_l1_large_kernel(benchmark):
+    """One large l1 sawtooth test on the compiled engine."""
+    result = benchmark.pedantic(_large_compiled, rounds=2, iterations=1, warmup_rounds=1)
+    assert result == _large_full()
+
+
+def test_tester_l1_large_kernel_full(benchmark):
+    """One large l1 sawtooth test on the per-query reference path."""
+    result = benchmark.pedantic(_large_full, rounds=2, iterations=1, warmup_rounds=1)
+    assert result.num_flatness_queries > 500  # the query-heavy regime

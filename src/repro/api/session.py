@@ -44,7 +44,11 @@ from repro.core.greedy import learn_from_samples
 from repro.core.params import GreedyParams, TesterParams, greedy_rounds
 from repro.core.results import LearnResult, TestResult
 from repro.core.selection import SelectionResult, select_min_k_on_sketch
-from repro.core.tester import test_l1_on_sketch, test_l2_on_sketch
+from repro.core.tester import (
+    test_l1_on_sketch,
+    test_l2_on_sketch,
+    validate_tester_engine,
+)
 from repro.errors import InvalidParameterError
 from repro.utils.rng import as_rng
 
@@ -71,6 +75,11 @@ class HistogramSession:
         Default learner scoring engine, ``"incremental"`` (dirty-region
         rescoring) or ``"full"`` (rescore everything each round; kept
         for the equivalence tests — results are byte-identical).
+    tester_engine:
+        Default tester flatness engine, ``"compiled"`` (precompiled
+        prefix gathers plus a memoised oracle, shared across every
+        tester/min-k call on one budget) or ``"full"`` (per-query
+        searches; the byte-identical reference path).
     learn_budget:
         Optional fixed :class:`GreedyParams` for every learn call; only
         the round count is re-derived per ``(k, epsilon)``.  A fixed
@@ -90,18 +99,25 @@ class HistogramSession:
         scale: float = 1.0,
         method: str = "fast",
         engine: str = "incremental",
+        tester_engine: str = "compiled",
         learn_budget: GreedyParams | None = None,
         test_budget: TesterParams | None = None,
         max_candidates: int | None = None,
     ) -> None:
         if int(n) != n or n < 1:
             raise InvalidParameterError(f"n must be a positive integer, got {n!r}")
+        if engine not in ("incremental", "full"):
+            raise InvalidParameterError(
+                f"engine must be one of ('incremental', 'full'), got {engine!r}"
+            )
+        validate_tester_engine(tester_engine)
         self._source: SampleSource = as_sample_source(source, n)
         self._n = int(n)
         self._rng = as_rng(rng)
         self._scale = float(scale)
         self._method = method
         self._engine = engine
+        self._tester_engine = tester_engine
         self._learn_budget = learn_budget
         self._test_budget = test_budget
         self._max_candidates = max_candidates
@@ -262,17 +278,36 @@ class HistogramSession:
     # testing
     # -------------------------------------------------------------- #
 
+    def _tester_inputs(self, resolved: TesterParams, engine: str | None):
+        """Resolve the engine plus (multi, compiled) for one tester call."""
+        engine = self._tester_engine if engine is None else engine
+        validate_tester_engine(engine)
+        if engine == "compiled":
+            multi, compiled = self._bundle.compiled_tester(resolved)
+        else:
+            multi, compiled = self._bundle.multi_sketch(resolved), None
+        return engine, multi, compiled
+
     def test_l2(
         self,
         k: int,
         epsilon: float,
         *,
         params: TesterParams | None = None,
+        engine: str | None = None,
     ) -> TestResult:
-        """Theorem 3 tester (l2 norm) over the shared test-family pool."""
+        """Theorem 3 tester (l2 norm) over the shared test-family pool.
+
+        With ``engine="compiled"`` (the session default) the call runs on
+        the cached :class:`~repro.core.flatness.CompiledTesterSketches`,
+        sharing its flatness-verdict memo with every other tester or
+        min-k call on the same budget.
+        """
         resolved = self._test_params("l2", k, epsilon, params)
-        multi = self._bundle.multi_sketch(resolved)
-        return test_l2_on_sketch(multi, self._n, k, epsilon, resolved)
+        engine, multi, compiled = self._tester_inputs(resolved, engine)
+        return test_l2_on_sketch(
+            multi, self._n, k, epsilon, resolved, engine=engine, compiled=compiled
+        )
 
     def test_l1(
         self,
@@ -280,11 +315,14 @@ class HistogramSession:
         epsilon: float,
         *,
         params: TesterParams | None = None,
+        engine: str | None = None,
     ) -> TestResult:
         """Theorem 4 tester (l1 norm) over the shared test-family pool."""
         resolved = self._test_params("l1", k, epsilon, params)
-        multi = self._bundle.multi_sketch(resolved)
-        return test_l1_on_sketch(multi, self._n, k, epsilon, resolved)
+        engine, multi, compiled = self._tester_inputs(resolved, engine)
+        return test_l1_on_sketch(
+            multi, self._n, k, epsilon, resolved, engine=engine, compiled=compiled
+        )
 
     def test_many(
         self,
@@ -292,11 +330,15 @@ class HistogramSession:
         *,
         norm: str = "l2",
         params: TesterParams | None = None,
+        engine: str | None = None,
     ) -> list[TestResult]:
         """Run the tester at every ``(k, epsilon)`` point of a grid.
 
         Like :meth:`learn_many`, the pool is grown once to the largest
-        resolved budget before any point runs.
+        resolved budget before any point runs.  Grid points whose
+        resolved budgets coincide share one compiled oracle, so interval
+        verdicts established at one ``k`` are free at every other — the
+        binary searches of nearby points mostly overlap.
         """
         if norm not in ("l1", "l2"):
             raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
@@ -310,7 +352,7 @@ class HistogramSession:
                 )
             )
         runner = self.test_l2 if norm == "l2" else self.test_l1
-        return [runner(k, epsilon, params=params) for k, epsilon in points]
+        return [runner(k, epsilon, params=params, engine=engine) for k, epsilon in points]
 
     # -------------------------------------------------------------- #
     # model selection
@@ -323,12 +365,15 @@ class HistogramSession:
         max_k: int | None = None,
         norm: str = "l1",
         params: TesterParams | None = None,
+        engine: str | None = None,
     ) -> SelectionResult:
         """Smallest accepted ``k`` (semantics of :func:`estimate_min_k`).
 
         Shares the test-family pool with :meth:`test_l1` /
         :meth:`test_l2`: after any tester call with a compatible budget,
-        model selection is sample-free.
+        model selection is sample-free — and on the compiled engine it
+        additionally inherits the flatness-verdict memo, so intervals
+        those calls already certified are not re-estimated.
         """
         if max_k is None:
             max_k = self._n
@@ -337,9 +382,16 @@ class HistogramSession:
         if norm not in ("l1", "l2"):
             raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
         resolved = self._test_params(norm, max_k, epsilon, params)
-        multi = self._bundle.multi_sketch(resolved)
+        engine, multi, compiled = self._tester_inputs(resolved, engine)
         return select_min_k_on_sketch(
-            multi, self._n, epsilon, max_k=max_k, norm=norm, params=resolved
+            multi,
+            self._n,
+            epsilon,
+            max_k=max_k,
+            norm=norm,
+            params=resolved,
+            engine=engine,
+            compiled=compiled,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

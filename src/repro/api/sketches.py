@@ -5,8 +5,9 @@ The paper's algorithms consume two *sketch families*:
 * the **learn family** — one weight sample plus ``r`` collision sets,
   compiled into prefix arrays over a candidate grid (Algorithm 1);
 * the **test family** — ``r`` plain sample sets combined into a
-  :class:`~repro.samples.estimators.MultiSketch` (Algorithm 2 and the
-  min-k search).
+  :class:`~repro.samples.estimators.MultiSketch` and compiled into a
+  :class:`~repro.core.flatness.CompiledTesterSketches` gather layout
+  (Algorithm 2 and the min-k search).
 
 :class:`SketchBundle` owns one growable pool of raw samples per family
 and memoises the derived structures.  Pools only ever grow (i.i.d. draws
@@ -32,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.flatness import CompiledTesterSketches, compile_tester_sketches
 from repro.core.greedy import (
     CompiledGreedySketches,
     GreedySamples,
@@ -118,6 +120,9 @@ class SketchBundle:
         self._tester_pool: list[_GrowablePool] = []
         self._multi_cache: dict[tuple[int, int], MultiSketch] = {}
         self._compiled_cache: dict[tuple, CompiledGreedySketches] = {}
+        self._tester_compiled_cache: dict[
+            tuple[int, int], CompiledTesterSketches
+        ] = {}
         self.draw_events = {_LEARN: 0, _TEST: 0}
         self.samples_drawn = 0
 
@@ -133,6 +138,7 @@ class SketchBundle:
         self._tester_pool = []
         self._multi_cache = {}
         self._compiled_cache = {}
+        self._tester_compiled_cache = {}
 
     # -------------------------------------------------------------- #
     # pool growth
@@ -252,3 +258,23 @@ class SketchBundle:
             )
             self._multi_cache[key] = multi
         return multi
+
+    def compiled_tester(
+        self, params: TesterParams
+    ) -> tuple[MultiSketch, CompiledTesterSketches]:
+        """The test-family sketch plus its compiled gather layout.
+
+        Memoised per ``(num_sets, set_size)`` alongside
+        :meth:`multi_sketch`: a grid of tester or min-k calls sharing one
+        budget compiles once, and — because the compiled object carries
+        the flatness-verdict memo — later calls start with every verdict
+        the earlier ones already established.  Dropped by
+        :meth:`invalidate` together with the pools.
+        """
+        multi = self.multi_sketch(params)
+        key = (params.num_sets, params.set_size)
+        compiled = self._tester_compiled_cache.get(key)
+        if compiled is None:
+            compiled = compile_tester_sketches(multi)
+            self._tester_compiled_cache[key] = compiled
+        return multi, compiled

@@ -14,7 +14,14 @@ from repro.core.candidates import (
     all_interval_candidates,
     sample_endpoint_candidates,
 )
-from repro.core.flatness import FlatnessResult, test_flatness_l1, test_flatness_l2
+from repro.core.flatness import (
+    CompiledTesterSketches,
+    FlatnessResult,
+    compile_tester_sketches,
+    flatness_oracle,
+    test_flatness_l1,
+    test_flatness_l2,
+)
 from repro.core.greedy import (
     CompiledGreedySketches,
     GreedySamples,
@@ -23,7 +30,11 @@ from repro.core.greedy import (
     learn_from_samples,
     learn_histogram,
 )
-from repro.core.identity import IdentityResult, test_identity_l2
+from repro.core.identity import (
+    IdentityResult,
+    test_identity_l2,
+    test_identity_l2_on_sketch,
+)
 from repro.core.lower_bound import (
     collision_distinguisher,
     no_instance,
@@ -43,10 +54,11 @@ from repro.core.tester import (
     test_l1_on_sketch,
     test_l2_on_sketch,
 )
-from repro.core.uniformity import test_uniformity
+from repro.core.uniformity import test_uniformity, test_uniformity_on_sketch
 
 __all__ = [
     "CompiledGreedySketches",
+    "CompiledTesterSketches",
     "FlatnessQuery",
     "FlatnessResult",
     "GreedyParams",
@@ -60,9 +72,11 @@ __all__ = [
     "all_interval_candidates",
     "collision_distinguisher",
     "compile_greedy_sketches",
+    "compile_tester_sketches",
     "draw_greedy_samples",
     "draw_tester_sets",
     "estimate_min_k",
+    "flatness_oracle",
     "greedy_rounds",
     "learn_from_samples",
     "learn_histogram",
@@ -72,11 +86,13 @@ __all__ = [
     "test_flatness_l1",
     "test_flatness_l2",
     "test_identity_l2",
+    "test_identity_l2_on_sketch",
     "test_k_histogram_l1",
     "test_k_histogram_l2",
     "test_l1_on_sketch",
     "test_l2_on_sketch",
     "test_uniformity",
+    "test_uniformity_on_sketch",
     "xi",
     "yes_instance",
 ]

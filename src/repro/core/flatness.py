@@ -12,21 +12,45 @@ uniform or light) from collision statistics:
 Pseudocode note (README.md, "Design notes"): the papers' step 3 writes ``C(|S^1|, 2)`` as
 the denominator, but the surrounding proofs (Eqs. 28–29 and 35) use
 ``C(|S^i_I|, 2)``; we follow the proofs.
+
+The module is layered so Algorithm 2 can run on a *compiled* engine
+(README.md, "Compiled tester engine"):
+
+* **pure verdict kernels** — :func:`l2_flatness_verdict` /
+  :func:`l1_flatness_verdict` hold the papers' threshold math once;
+  every engine funnels through them, which is what makes the engines
+  byte-identical;
+* **per-query oracles** — :func:`test_flatness_l2` /
+  :func:`test_flatness_l1` answer one interval from a raw
+  :class:`~repro.samples.estimators.MultiSketch` (binary searches per
+  query); :func:`flatness_oracle` is their validate-once closure form
+  (the ``engine="full"`` reference path);
+* **compiled engine** — :func:`compile_tester_sketches` builds a
+  :class:`CompiledTesterSketches`: per-set hit/pair prefixes over the
+  full endpoint grid ``[0, n]`` in a C-contiguous ``(n + 1, r)`` gather
+  layout, so one flatness query is two row gathers, an in-place
+  length-``r`` ratio, and a median — no sorting, searching, or
+  allocation — with verdicts memoised by
+  ``(start, stop, metric, epsilon, scale)`` across binary searches,
+  ``test_many`` grid points, and min-k sweeps.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.params import flatness_l1_min_hits
 from repro.errors import InvalidParameterError
-from repro.samples.estimators import MultiSketch
+from repro.samples.estimators import MultiSketch, _ratio
 
 REASON_LIGHT = "light-weight"
 REASON_COLLISION_OK = "collision-bound"
 REASON_REJECTED = "rejected"
+
+METRICS = ("l2", "l1")
 
 
 @dataclass(frozen=True)
@@ -53,6 +77,14 @@ class FlatnessResult:
     threshold: float | None
 
 
+FlatnessOracle = Callable[[int, int], FlatnessResult]
+
+
+# ------------------------------------------------------------------ #
+# validation (once per tester invocation, not per query)
+# ------------------------------------------------------------------ #
+
+
 def _check_interval(start: int, stop: int) -> int:
     if stop <= start:
         raise InvalidParameterError(
@@ -61,29 +93,111 @@ def _check_interval(start: int, stop: int) -> int:
     return stop - start
 
 
-def test_flatness_l2(
-    multi: MultiSketch, start: int, stop: int, epsilon: float
+def validate_flatness_epsilon(epsilon: float) -> None:
+    """Reject out-of-range ``epsilon`` (shared by every flatness entry)."""
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+
+
+def validate_flatness_scale(scale: float) -> None:
+    """Reject out-of-range ``scale`` (the l1 light-threshold rescale)."""
+    if not 0.0 < scale <= 1.0:
+        raise InvalidParameterError(f"scale must be in (0, 1], got {scale}")
+
+
+def validate_metric(metric: str) -> None:
+    """Reject unknown flatness metrics."""
+    if metric not in METRICS:
+        raise InvalidParameterError(
+            f"metric must be one of {METRICS}, got {metric!r}"
+        )
+
+
+# ------------------------------------------------------------------ #
+# pure verdict kernels (one code path for every engine)
+# ------------------------------------------------------------------ #
+
+
+def l2_flatness_verdict(
+    counts: np.ndarray,
+    set_size: int,
+    length: int,
+    epsilon: float,
+    median_z: Callable[[], float],
 ) -> FlatnessResult:
-    """``testFlatness-l2`` (Algorithm 3).
+    """``testFlatness-l2`` (Algorithm 3) decision from per-set hit counts.
 
     1. ``p_hat_i(I) = 2 |S^i_I| / m``;
     2. accept if any ``|S^i_I| / m < eps^2 / 2`` (light interval);
-    3. ``z_I`` = median of per-set conditional collision estimates;
+    3. ``z_I`` = median of per-set conditional collision estimates
+       (``median_z`` is called lazily — light intervals never pay for it);
     4. accept iff ``z_I <= 1/|I| + max_i eps^2 / (2 p_hat_i(I))``.
+
+    ``counts`` may be int64 or float64: ``np.divide`` promotes both to
+    the same float64 values, so the per-query and compiled engines are
+    bit-identical through this single kernel.
     """
-    length = _check_interval(start, stop)
-    if not 0.0 < epsilon < 1.0:
-        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
-    m = multi.set_size
-    counts = multi.counts(start, stop).astype(np.float64)
-    if np.any(counts / m < epsilon**2 / 2):
+    if np.any(counts / set_size < epsilon**2 / 2):
         return FlatnessResult(True, REASON_LIGHT, None, None)
-    p_hat = 2.0 * counts / m
-    z = float(multi.median_conditional_norm(start, stop))
+    p_hat = 2.0 * counts / set_size
+    z = float(median_z())
     threshold = 1.0 / length + float(np.max(epsilon**2 / (2.0 * p_hat)))
     if z <= threshold:
         return FlatnessResult(True, REASON_COLLISION_OK, z, threshold)
     return FlatnessResult(False, REASON_REJECTED, z, threshold)
+
+
+def l1_flatness_verdict(
+    counts: np.ndarray,
+    length: int,
+    epsilon: float,
+    scale: float,
+    median_z: Callable[[], float],
+) -> FlatnessResult:
+    """``testFlatness-l1`` (Algorithm 4) decision from per-set hit counts.
+
+    1. accept if any ``|S^i_I| < scale * 16^3 sqrt(|I|) / eps^4`` (light;
+       ``scale`` rescales the paper's absolute threshold in proportion to
+       the sample sizes — see
+       :func:`repro.core.tester.l1_effective_scale`);
+    2. ``z_I`` = median of per-set conditional collision estimates;
+    3. accept iff ``z_I <= (1/|I|) (1 + eps^2 / 4)``.
+    """
+    min_hits = scale * flatness_l1_min_hits(length, epsilon)
+    if np.any(counts < min_hits):
+        return FlatnessResult(True, REASON_LIGHT, None, None)
+    z = float(median_z())
+    threshold = (1.0 / length) * (1.0 + epsilon**2 / 4.0)
+    if z <= threshold:
+        return FlatnessResult(True, REASON_COLLISION_OK, z, threshold)
+    return FlatnessResult(False, REASON_REJECTED, z, threshold)
+
+
+# ------------------------------------------------------------------ #
+# per-query path over a raw MultiSketch (engine="full")
+# ------------------------------------------------------------------ #
+
+
+def _query_multi(
+    multi: MultiSketch, start: int, stop: int, metric: str, epsilon: float, scale: float
+) -> FlatnessResult:
+    """One unvalidated flatness query answered by per-set binary searches."""
+    length = _check_interval(start, stop)
+    median_z = lambda: multi.median_conditional_norm(start, stop)  # noqa: E731
+    if metric == "l2":
+        counts = multi.counts(start, stop).astype(np.float64)
+        return l2_flatness_verdict(counts, multi.set_size, length, epsilon, median_z)
+    counts = multi.counts(start, stop)
+    return l1_flatness_verdict(counts, length, epsilon, scale, median_z)
+
+
+def test_flatness_l2(
+    multi: MultiSketch, start: int, stop: int, epsilon: float
+) -> FlatnessResult:
+    """``testFlatness-l2`` (Algorithm 3) — one-shot, validating form."""
+    _check_interval(start, stop)
+    validate_flatness_epsilon(epsilon)
+    return _query_multi(multi, start, stop, "l2", epsilon, 1.0)
 
 
 def test_flatness_l1(
@@ -93,28 +207,189 @@ def test_flatness_l1(
     epsilon: float,
     scale: float = 1.0,
 ) -> FlatnessResult:
-    """``testFlatness-l1`` (Algorithm 4).
-
-    1. accept if any ``|S^i_I| < 16^3 sqrt(|I|) / eps^4`` (light);
-    2. ``z_I`` = median of per-set conditional collision estimates;
-    3. accept iff ``z_I <= (1/|I|) (1 + eps^2 / 4)``.
+    """``testFlatness-l1`` (Algorithm 4) — one-shot, validating form.
 
     ``scale`` rescales the step-1 hit threshold in proportion to the
     sample sizes: the paper's threshold is an absolute count calibrated
     to ``m = 2^13 sqrt(kn) / eps^5``, so running at ``scale * m`` samples
     requires ``scale *`` the threshold to test the same weight level.
     """
-    length = _check_interval(start, stop)
-    if not 0.0 < epsilon < 1.0:
-        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
-    if not 0.0 < scale <= 1.0:
-        raise InvalidParameterError(f"scale must be in (0, 1], got {scale}")
-    counts = multi.counts(start, stop)
-    min_hits = scale * flatness_l1_min_hits(length, epsilon)
-    if np.any(counts < min_hits):
-        return FlatnessResult(True, REASON_LIGHT, None, None)
-    z = float(multi.median_conditional_norm(start, stop))
-    threshold = (1.0 / length) * (1.0 + epsilon**2 / 4.0)
-    if z <= threshold:
-        return FlatnessResult(True, REASON_COLLISION_OK, z, threshold)
-    return FlatnessResult(False, REASON_REJECTED, z, threshold)
+    _check_interval(start, stop)
+    validate_flatness_epsilon(epsilon)
+    validate_flatness_scale(scale)
+    return _query_multi(multi, start, stop, "l1", epsilon, scale)
+
+
+def flatness_oracle(
+    multi: MultiSketch, metric: str, epsilon: float, scale: float = 1.0
+) -> FlatnessOracle:
+    """A validate-once per-query oracle over a raw sketch.
+
+    This is Algorithm 2's ``engine="full"`` reference path: parameters
+    are checked here, once per tester invocation, instead of inside each
+    of the O(k log n) binary-search probes; each query then re-runs the
+    per-set ``searchsorted`` counts and a fresh median-of-r estimate.
+    """
+    validate_metric(metric)
+    validate_flatness_epsilon(epsilon)
+    validate_flatness_scale(scale)
+    return lambda start, stop: _query_multi(multi, start, stop, metric, epsilon, scale)
+
+
+# ------------------------------------------------------------------ #
+# compiled engine (engine="compiled")
+# ------------------------------------------------------------------ #
+
+
+class CompiledTesterSketches:
+    """A :class:`MultiSketch` compiled for O(r) flatness queries.
+
+    Mirrors :class:`repro.core.greedy.CompiledGreedySketches`: the
+    expensive per-draw work — one batched sort over all ``r`` sets and
+    prefix evaluation on the full endpoint grid ``[0, n]`` — happens once
+    at compile time (:func:`compile_tester_sketches`), after which any
+    interval's per-set hit and pair counts are two gathers of contiguous
+    length-``r`` rows (the ``(n + 1, r)`` C-contiguous layout below).
+
+    On top of the gathers sits a verdict memo keyed by
+    ``(start, stop, metric, epsilon, scale)``.  Algorithm 2's binary
+    search, the points of a ``test_many`` grid, and min-k sweeps all
+    re-probe overlapping intervals; the memo answers repeats in O(1)
+    (``memo_hits`` / ``memo_misses`` account for it).  Verdicts are
+    frozen dataclasses, so sharing them is safe, and the query *log*
+    Algorithm 2 returns is unaffected — every probe is logged whether or
+    not its verdict came from the memo.
+
+    Memory is O(n r); for domains too large to afford that, the
+    ``engine="full"`` per-query path remains available everywhere.
+    """
+
+    def __init__(
+        self,
+        count_prefix_cols: np.ndarray,
+        pair_prefix_cols: np.ndarray,
+        set_size: int,
+    ) -> None:
+        if (
+            count_prefix_cols.shape != pair_prefix_cols.shape
+            or count_prefix_cols.ndim != 2
+        ):
+            raise InvalidParameterError(
+                "count/pair prefix layouts must be two equal-shape matrices"
+            )
+        self._count_cols = np.ascontiguousarray(count_prefix_cols, dtype=np.int64)
+        self._pair_cols = np.ascontiguousarray(pair_prefix_cols, dtype=np.int64)
+        self._set_size = int(set_size)
+        num_sets = self._count_cols.shape[1]
+        # Reusable per-query buffers: one flatness query allocates nothing
+        # beyond numpy's internal median scratch.
+        self._counts = np.empty(num_sets, dtype=np.int64)
+        self._pairs = np.empty(num_sets, dtype=np.int64)
+        self._denom = np.empty(num_sets, dtype=np.int64)
+        self._ratio_buf = np.empty(num_sets, dtype=np.float64)
+        self._memo: dict[tuple, FlatnessResult] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    @property
+    def n(self) -> int:
+        """Domain size (the grid holds every endpoint ``0..n``)."""
+        return self._count_cols.shape[0] - 1
+
+    @property
+    def num_sets(self) -> int:
+        """The replication factor ``r``."""
+        return self._count_cols.shape[1]
+
+    @property
+    def set_size(self) -> int:
+        """``m``, the (common) size of each sample set."""
+        return self._set_size
+
+    @property
+    def memo_size(self) -> int:
+        """Number of distinct memoised verdicts."""
+        return len(self._memo)
+
+    def _median_conditional_norm(self, start: int, stop: int) -> float:
+        """Median-of-r [GR00] estimate from the compiled rows, in place."""
+        counts = self._counts  # gathered by the caller for this interval
+        np.subtract(self._pair_cols[stop], self._pair_cols[start], out=self._pairs)
+        # C(counts, 2) in exact int64 math, matching utils.prefix.pairs_count.
+        np.subtract(counts, 1, out=self._denom)
+        np.multiply(self._denom, counts, out=self._denom)
+        np.floor_divide(self._denom, 2, out=self._denom)
+        return float(np.median(_ratio(self._pairs, self._denom, out=self._ratio_buf)))
+
+    def query(
+        self, start: int, stop: int, metric: str, epsilon: float, scale: float = 1.0
+    ) -> FlatnessResult:
+        """One memoised flatness verdict (parameters assumed validated)."""
+        key = (start, stop, metric, epsilon, scale)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        length = _check_interval(start, stop)
+        counts = np.subtract(
+            self._count_cols[stop], self._count_cols[start], out=self._counts
+        )
+        median_z = lambda: self._median_conditional_norm(start, stop)  # noqa: E731
+        if metric == "l2":
+            result = l2_flatness_verdict(
+                counts, self._set_size, length, epsilon, median_z
+            )
+        else:
+            result = l1_flatness_verdict(counts, length, epsilon, scale, median_z)
+        self._memo[key] = result
+        return result
+
+    def oracle(
+        self, metric: str, epsilon: float, scale: float = 1.0
+    ) -> FlatnessOracle:
+        """A validate-once flatness oracle over the compiled sketches.
+
+        The returned closure is what Algorithm 2's partition search (and
+        the min-k sweep) consume; all oracles from one compiled object
+        share its verdict memo.
+        """
+        validate_metric(metric)
+        validate_flatness_epsilon(epsilon)
+        validate_flatness_scale(scale)
+        return lambda start, stop: self.query(start, stop, metric, epsilon, scale)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledTesterSketches(n={self.n}, r={self.num_sets}, "
+            f"m={self._set_size}, memo={self.memo_size})"
+        )
+
+
+def compile_tester_sketches(multi: MultiSketch) -> CompiledTesterSketches:
+    """Compile a :class:`MultiSketch` into the tester's gather layout.
+
+    Pure in the sketch contents, so the result is reusable by any number
+    of ``(k, epsilon)`` tester or min-k calls over the same draw (which
+    is how :class:`repro.api.SketchBundle` caches it).
+
+    Each per-set sketch already holds its sorted distinct values and
+    prefix sums (built once at :class:`MultiSketch` construction), so
+    compilation is ``r`` batched ``searchsorted`` evaluations of the full
+    endpoint grid — no re-sort of the raw samples.  (Measured against
+    re-running the one-sort batched pass of
+    :func:`repro.samples.collision.batched_interval_prefixes` over the
+    raw sets, reusing the per-set sorts is 5-8x cheaper; the batched pass
+    remains the right tool where no per-set sketches exist, i.e. the
+    greedy compile path.)
+    """
+    n = multi.n
+    grid = np.arange(n + 1, dtype=np.int64)
+    per_set = [sketch.prefixes_on_grid(grid) for sketch in multi.sketches]
+    count_rows = np.stack([c for c, _ in per_set])
+    pair_rows = np.stack([p for _, p in per_set])
+    return CompiledTesterSketches(
+        np.ascontiguousarray(count_rows.T),
+        np.ascontiguousarray(pair_rows.T),
+        multi.set_size,
+    )

@@ -11,6 +11,13 @@ a substrate, using the same collision machinery:
 where ``||p||_2^2`` is estimated by the observed collision probability
 ([GR00]) and the cross term by the unbiased estimator
 ``<p, q> ~ (1/m) sum_i q(x_i)`` over samples ``x_i ~ p``.
+
+The collision statistic is read off a compiled
+:class:`~repro.samples.collision.CollisionSketch` (which also performs
+the domain validation), mirroring the flatness/uniformity stack:
+:func:`test_identity_l2_on_sketch` is the pure half over an
+already-built sketch, :func:`test_identity_l2` the draw-and-run
+composition.
 """
 
 from __future__ import annotations
@@ -20,8 +27,8 @@ import math
 import numpy as np
 
 from repro.distributions.distances import as_pmf
-from repro.errors import InvalidParameterError
-from repro.samples.collision import collision_count
+from repro.errors import InsufficientSamplesError, InvalidParameterError
+from repro.samples.collision import CollisionSketch
 from repro.utils.prefix import pairs_count
 from repro.utils.rng import as_rng
 
@@ -57,6 +64,44 @@ def identity_sample_size(n: int, epsilon: float, constant: float = 24.0) -> int:
     return max(16, math.ceil(constant * math.sqrt(n) / epsilon**2))
 
 
+def test_identity_l2_on_sketch(
+    sketch: CollisionSketch,
+    samples: np.ndarray,
+    reference: object,
+    epsilon: float,
+) -> IdentityResult:
+    """Identity verdict from an already-built sketch (no source access).
+
+    ``sketch`` must be built over ``samples`` (the raw array is still
+    needed for the cross term ``(1/m) sum_i q(x_i)``); ``||p||_2^2``
+    comes from the sketch's compiled pair prefix in O(1).  Pure in both
+    inputs.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    q = as_pmf(reference)
+    if q.shape[0] != sketch.n:
+        raise InvalidParameterError(
+            f"reference has {q.shape[0]} elements, sketch domain is {sketch.n}"
+        )
+    if sketch.size < 2:
+        raise InsufficientSamplesError(
+            f"need >= 2 samples for a collision probability, got {sketch.size}"
+        )
+    p_norm_sq = sketch.total_collisions / pairs_count(sketch.size)
+    cross = float(q[samples].mean())
+    q_norm_sq = float(np.dot(q, q))
+    statistic = p_norm_sq - 2.0 * cross + q_norm_sq
+    threshold = epsilon**2 / 2.0
+    return IdentityResult(
+        accepted=statistic <= threshold,
+        statistic=float(statistic),
+        threshold=threshold,
+        epsilon=epsilon,
+        samples_used=sketch.size,
+    )
+
+
 def test_identity_l2(
     source: object,
     reference: object,
@@ -90,18 +135,6 @@ def test_identity_l2(
     n = q.shape[0]
     size = max(16, math.ceil(scale * identity_sample_size(n, epsilon, constant)))
     samples = np.asarray(source.sample(size, as_rng(rng)))
-    if samples.size and (samples.min() < 0 or samples.max() >= n):
-        raise InvalidParameterError("samples contain values outside [0, n)")
-
-    p_norm_sq = collision_count(samples) / pairs_count(size)
-    cross = float(q[samples].mean())
-    q_norm_sq = float(np.dot(q, q))
-    statistic = p_norm_sq - 2.0 * cross + q_norm_sq
-    threshold = epsilon**2 / 2.0
-    return IdentityResult(
-        accepted=statistic <= threshold,
-        statistic=float(statistic),
-        threshold=threshold,
-        epsilon=epsilon,
-        samples_used=size,
+    return test_identity_l2_on_sketch(
+        CollisionSketch(samples, n), samples, reference, epsilon
     )

@@ -21,9 +21,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.flatness import test_flatness_l1, test_flatness_l2
+from repro.core.flatness import CompiledTesterSketches
 from repro.core.params import TesterParams
-from repro.core.tester import draw_tester_sets, flat_partition, l1_effective_scale
+from repro.core.tester import (
+    draw_tester_sets,
+    flat_partition,
+    l1_effective_scale,
+    resolve_flatness_oracle,
+)
 from repro.errors import InvalidParameterError
 from repro.histograms.intervals import Interval
 from repro.samples.estimators import MultiSketch
@@ -62,6 +67,7 @@ def estimate_min_k(
     norm: str = "l1",
     params: TesterParams | None = None,
     scale: float = 1.0,
+    engine: str = "compiled",
     rng: "int | None | np.random.Generator" = None,
 ) -> SelectionResult:
     """Smallest ``k`` for which the tiling k-histogram tester accepts.
@@ -80,8 +86,9 @@ def estimate_min_k(
         Largest candidate to try (default ``n``).
     norm:
         ``"l1"`` or ``"l2"`` — which tester to use.
-    params / scale / rng:
-        As in the testers.
+    params / scale / engine / rng:
+        As in the testers (``engine`` selects the compiled or per-query
+        flatness path; the answer is engine-independent).
 
     Notes
     -----
@@ -107,7 +114,7 @@ def estimate_min_k(
     sample_sets = draw_tester_sets(source, params, rng)
     multi = MultiSketch.from_sample_sets(sample_sets, n)
     return select_min_k_on_sketch(
-        multi, n, epsilon, max_k=max_k, norm=norm, params=params
+        multi, n, epsilon, max_k=max_k, norm=norm, params=params, engine=engine
     )
 
 
@@ -119,26 +126,30 @@ def select_min_k_on_sketch(
     max_k: int,
     norm: str = "l1",
     params: TesterParams,
+    engine: str = "compiled",
+    compiled: CompiledTesterSketches | None = None,
 ) -> SelectionResult:
     """The min-k search on an already-built sketch (no source access).
 
     Pure in ``multi``; :func:`estimate_min_k` and
-    :meth:`repro.api.HistogramSession.min_k` both delegate here.
+    :meth:`repro.api.HistogramSession.min_k` both delegate here.  Pass
+    ``compiled`` (the session cache path) to reuse an existing
+    :class:`~repro.core.flatness.CompiledTesterSketches` — its verdict
+    memo then carries over from earlier tester calls, which matters here
+    because the left-greedy sweep re-probes exactly the intervals those
+    calls already certified.
     """
     if not 1 <= max_k <= n:
         raise InvalidParameterError(f"max_k must be in [1, n], got {max_k}")
     if norm not in ("l1", "l2"):
         raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
 
-    if norm == "l2":
-        def oracle(start: int, stop: int):
-            return test_flatness_l2(multi, start, stop, epsilon)
-    else:
-        effective_scale = l1_effective_scale(n, max_k, epsilon, params)
-
-        def oracle(start: int, stop: int):
-            return test_flatness_l1(multi, start, stop, epsilon, scale=effective_scale)
-
+    effective_scale = (
+        1.0 if norm == "l2" else l1_effective_scale(n, max_k, epsilon, params)
+    )
+    oracle = resolve_flatness_oracle(
+        multi, norm, epsilon, scale=effective_scale, engine=engine, compiled=compiled
+    )
     partition, _ = flat_partition(n, max_k, oracle)
     covered = partition[-1].stop if partition else 0
     found: int | None = len(partition) if covered >= n else None

@@ -17,6 +17,14 @@ an already-built :class:`~repro.samples.estimators.MultiSketch`, and the
 classic :func:`test_k_histogram_l2` / :func:`test_k_histogram_l1` compose
 the two (see :class:`repro.api.HistogramSession` for the sketch-reusing
 path).
+
+Each flatness oracle comes in two engines (README.md, "Compiled tester
+engine"): ``engine="compiled"`` (the default) answers queries from a
+:class:`~repro.core.flatness.CompiledTesterSketches` — precompiled
+prefix gathers plus a verdict memo — and ``engine="full"`` re-runs the
+per-set searches on every probe.  The two are byte-identical on verdicts
+*and query logs* (the equivalence contract the test suite asserts);
+``BENCH_tester.json`` tracks the measured speedup.
 """
 
 from __future__ import annotations
@@ -27,9 +35,10 @@ import numpy as np
 
 from repro.core.flatness import (
     REASON_REJECTED,
-    FlatnessResult,
-    test_flatness_l1,
-    test_flatness_l2,
+    CompiledTesterSketches,
+    FlatnessOracle,
+    compile_tester_sketches,
+    flatness_oracle,
 )
 from repro.core.params import TesterParams
 from repro.core.results import FlatnessQuery, TestResult
@@ -38,7 +47,7 @@ from repro.histograms.intervals import Interval
 from repro.samples.estimators import MultiSketch
 from repro.utils.rng import as_rng
 
-FlatnessOracle = Callable[[int, int], FlatnessResult]
+TESTER_ENGINES = ("compiled", "full")
 
 
 def flat_partition(
@@ -50,7 +59,8 @@ def flat_partition(
 
     Returns the flat intervals found (in order) and the full query log.
     The caller decides acceptance from whether the intervals cover the
-    domain.
+    domain.  Every probe is logged, including ones a memoising oracle
+    answers from cache — the log is engine-independent.
     """
     if max_pieces < 1:
         raise InvalidParameterError(f"max_pieces must be >= 1, got {max_pieces}")
@@ -109,6 +119,37 @@ def draw_tester_sets(
     ]
 
 
+def validate_tester_engine(engine: str) -> None:
+    """Reject unknown tester engines."""
+    if engine not in TESTER_ENGINES:
+        raise InvalidParameterError(
+            f"engine must be one of {TESTER_ENGINES}, got {engine!r}"
+        )
+
+
+def resolve_flatness_oracle(
+    multi: MultiSketch,
+    metric: str,
+    epsilon: float,
+    *,
+    scale: float = 1.0,
+    engine: str = "compiled",
+    compiled: CompiledTesterSketches | None = None,
+) -> FlatnessOracle:
+    """The flatness oracle for one tester invocation, validated once.
+
+    ``engine="compiled"`` uses ``compiled`` when given (the session cache
+    path) or compiles ``multi`` on the spot; ``engine="full"`` answers
+    every probe from the raw sketch (``compiled`` is ignored).
+    """
+    validate_tester_engine(engine)
+    if engine == "full":
+        return flatness_oracle(multi, metric, epsilon, scale=scale)
+    if compiled is None:
+        compiled = compile_tester_sketches(multi)
+    return compiled.oracle(metric, epsilon, scale=scale)
+
+
 def _run_on_sketch(
     multi: MultiSketch,
     n: int,
@@ -143,12 +184,17 @@ def test_l2_on_sketch(
     k: int,
     epsilon: float,
     params: TesterParams,
+    *,
+    engine: str = "compiled",
+    compiled: CompiledTesterSketches | None = None,
 ) -> TestResult:
     """Theorem 3's tester on an already-built sketch (no source access).
 
     Pure in ``multi``: running it any number of times — or interleaved
     with other ``(k, epsilon)`` queries over the same sketch — returns
     identical results, which is what lets sessions share one draw.
+    ``engine``/``compiled`` select the flatness engine (see module
+    docstring); the verdict and query log are engine-independent.
     """
     _validate_k(n, k)
     return _run_on_sketch(
@@ -158,7 +204,9 @@ def test_l2_on_sketch(
         epsilon,
         "l2",
         params,
-        lambda m: lambda start, stop: test_flatness_l2(m, start, stop, epsilon),
+        lambda m: resolve_flatness_oracle(
+            m, "l2", epsilon, engine=engine, compiled=compiled
+        ),
     )
 
 
@@ -180,6 +228,9 @@ def test_l1_on_sketch(
     k: int,
     epsilon: float,
     params: TesterParams,
+    *,
+    engine: str = "compiled",
+    compiled: CompiledTesterSketches | None = None,
 ) -> TestResult:
     """Theorem 4's tester on an already-built sketch (no source access)."""
     _validate_k(n, k)
@@ -191,8 +242,13 @@ def test_l1_on_sketch(
         epsilon,
         "l1",
         params,
-        lambda m: lambda start, stop: test_flatness_l1(
-            m, start, stop, epsilon, scale=effective_scale
+        lambda m: resolve_flatness_oracle(
+            m,
+            "l1",
+            epsilon,
+            scale=effective_scale,
+            engine=engine,
+            compiled=compiled,
         ),
     )
 
@@ -205,6 +261,7 @@ def test_k_histogram_l2(
     *,
     scale: float = 1.0,
     params: TesterParams | None = None,
+    engine: str = "compiled",
     rng: "int | None | np.random.Generator" = None,
 ) -> TestResult:
     """Theorem 3 tester: is ``p`` a tiling k-histogram, or eps-far in l2?
@@ -220,7 +277,7 @@ def test_k_histogram_l2(
         params = TesterParams.l2_from_paper(n, epsilon, scale=scale)
     sample_sets = draw_tester_sets(source, params, rng)
     multi = MultiSketch.from_sample_sets(sample_sets, n)
-    return test_l2_on_sketch(multi, n, k, epsilon, params)
+    return test_l2_on_sketch(multi, n, k, epsilon, params, engine=engine)
 
 
 def test_k_histogram_l1(
@@ -231,6 +288,7 @@ def test_k_histogram_l1(
     *,
     scale: float = 1.0,
     params: TesterParams | None = None,
+    engine: str = "compiled",
     rng: "int | None | np.random.Generator" = None,
 ) -> TestResult:
     """Theorem 4 tester: is ``p`` a tiling k-histogram, or eps-far in l1?
@@ -245,7 +303,7 @@ def test_k_histogram_l1(
         params = TesterParams.l1_from_paper(n, k, epsilon, scale=scale)
     sample_sets = draw_tester_sets(source, params, rng)
     multi = MultiSketch.from_sample_sets(sample_sets, n)
-    return test_l1_on_sketch(multi, n, k, epsilon, params)
+    return test_l1_on_sketch(multi, n, k, epsilon, params, engine=engine)
 
 
 def count_rejections(result: TestResult) -> int:

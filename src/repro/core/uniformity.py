@@ -10,6 +10,13 @@ at ``(1 + eps^2 / 2) / n``.
 
 The T8 experiment compares this specialist against the paper's general
 tester at ``k = 1``.
+
+Like the flatness machinery this module is split into a pure verdict
+(:func:`uniformity_verdict`), a sketch half
+(:func:`test_uniformity_on_sketch` — the whole-domain conditional
+collision statistic read off an already-built
+:class:`~repro.samples.collision.CollisionSketch`'s prefix arrays), and
+the classic draw-and-run composition (:func:`test_uniformity`).
 """
 
 from __future__ import annotations
@@ -19,8 +26,8 @@ import math
 import numpy as np
 
 from repro.core.results import UniformityResult
-from repro.errors import InvalidParameterError
-from repro.samples.collision import collision_count
+from repro.errors import InsufficientSamplesError, InvalidParameterError
+from repro.samples.collision import CollisionSketch
 from repro.utils.prefix import pairs_count
 from repro.utils.rng import as_rng
 
@@ -32,6 +39,39 @@ def uniformity_sample_size(n: int, epsilon: float, constant: float = 16.0) -> in
     if not 0.0 < epsilon < 1.0:
         raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
     return max(16, math.ceil(constant * math.sqrt(n) / epsilon**2))
+
+
+def uniformity_verdict(collisions: int, size: int, n: int, epsilon: float) -> UniformityResult:
+    """The [GR00] accept/reject decision from a whole-domain pair count."""
+    if size < 2:
+        raise InsufficientSamplesError(
+            f"need >= 2 samples for a collision probability, got {size}"
+        )
+    statistic = collisions / pairs_count(size)
+    threshold = (1.0 + epsilon**2 / 2.0) / n
+    return UniformityResult(
+        accepted=statistic <= threshold,
+        statistic=float(statistic),
+        threshold=float(threshold),
+        epsilon=epsilon,
+        samples_used=size,
+        collisions=int(collisions),
+    )
+
+
+def test_uniformity_on_sketch(sketch: CollisionSketch, epsilon: float) -> UniformityResult:
+    """Uniformity verdict from an already-built sketch (no source access).
+
+    The statistic is the ``k = 1``, whole-domain special case of the
+    flatness machinery: ``coll(S) / C(|S|, 2)`` read off the sketch's
+    compiled pair prefix in O(1).  Pure in ``sketch``, so sessions and
+    repeated calls share one build.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    return uniformity_verdict(
+        sketch.total_collisions, sketch.size, sketch.n, epsilon
+    )
 
 
 def test_uniformity(
@@ -53,14 +93,4 @@ def test_uniformity(
         raise InvalidParameterError(f"scale must be in (0, 1], got {scale}")
     size = max(16, math.ceil(scale * uniformity_sample_size(n, epsilon, constant)))
     samples = np.asarray(source.sample(size, as_rng(rng)))
-    collisions = collision_count(samples)
-    statistic = collisions / pairs_count(size)
-    threshold = (1.0 + epsilon**2 / 2.0) / n
-    return UniformityResult(
-        accepted=statistic <= threshold,
-        statistic=float(statistic),
-        threshold=float(threshold),
-        epsilon=epsilon,
-        samples_used=size,
-        collisions=int(collisions),
-    )
+    return test_uniformity_on_sketch(CollisionSketch(samples, n), epsilon)

@@ -1,9 +1,15 @@
-"""Tester experiments: T3, T4 (Theorems 3/4) and F3 (the testing gap)."""
+"""Tester experiments: T3, T4 (Theorems 3/4) and F3 (the testing gap).
+
+Each trial runs through a fresh :class:`repro.api.HistogramSession`
+(the compiled tester engine): a fresh session's first tester call is
+seed-for-seed identical to the one-shot entry point, so the tables are
+unchanged while the trials ride the production path.
+"""
 
 from __future__ import annotations
 
+from repro.api import HistogramSession
 from repro.core.params import TesterParams
-from repro.core.tester import test_k_histogram_l1, test_k_histogram_l2
 from repro.distributions import families
 from repro.distributions.perturb import perturb_within_pieces
 from repro.distributions.property_distance import distance_to_k_histogram
@@ -12,6 +18,16 @@ from repro.utils.rng import spawn_rngs
 
 L2_SCALE = 0.05
 L1_PARAMS = TesterParams(num_sets=15, set_size=30_000)
+
+
+def _trial_l2(dist, n, k, eps, rng):
+    """One l2 tester trial via the session path."""
+    return HistogramSession(dist, n, rng=rng, scale=L2_SCALE).test_l2(k, eps)
+
+
+def _trial_l1(dist, n, k, eps, rng):
+    """One l1 tester trial via the session path."""
+    return HistogramSession(dist, n, rng=rng).test_l1(k, eps, params=L1_PARAMS)
 
 
 def run_t3(config: ExperimentConfig) -> ExperimentResult:
@@ -47,18 +63,14 @@ def run_t3(config: ExperimentConfig) -> ExperimentResult:
     for name, dist in yes_cases:
         flags = []
         for _ in range(trials):
-            flags.append(
-                test_k_histogram_l2(dist, n, k, eps, scale=L2_SCALE, rng=rngs[idx]).accepted
-            )
+            flags.append(_trial_l2(dist, n, k, eps, rngs[idx]).accepted)
             idx += 1
         dd = distance_to_k_histogram(dist, k, norm="l2")
         result.rows.append([name, "YES", dd, accept_rate(flags), ">= 2/3"])
     for name, dist in no_cases:
         flags = []
         for _ in range(trials):
-            flags.append(
-                test_k_histogram_l2(dist, n, k, eps, scale=L2_SCALE, rng=rngs[idx]).accepted
-            )
+            flags.append(_trial_l2(dist, n, k, eps, rngs[idx]).accepted)
             idx += 1
         dd = distance_to_k_histogram(dist, k, norm="l2")
         result.rows.append([name, "NO", dd, accept_rate(flags), "<= 1/3"])
@@ -97,11 +109,7 @@ def run_t4(config: ExperimentConfig) -> ExperimentResult:
         for name, dist in cases:
             flags = []
             for _ in range(trials):
-                flags.append(
-                    test_k_histogram_l1(
-                        dist, n, k, eps, params=L1_PARAMS, rng=rngs[idx]
-                    ).accepted
-                )
+                flags.append(_trial_l1(dist, n, k, eps, rngs[idx]).accepted)
                 idx += 1
             dd = distance_to_k_histogram(dist, k, norm="l1")
             result.rows.append([name, side, dd, accept_rate(flags), target])
@@ -135,11 +143,7 @@ def run_f3(config: ExperimentConfig) -> ExperimentResult:
         dd = distance_to_k_histogram(dist, k, norm="l1")
         rejects = []
         for _ in range(trials):
-            rejects.append(
-                not test_k_histogram_l1(
-                    dist, n, k, eps, params=L1_PARAMS, rng=rngs[idx]
-                ).accepted
-            )
+            rejects.append(not _trial_l1(dist, n, k, eps, rngs[idx]).accepted)
             idx += 1
         result.rows.append([amplitude, dd, accept_rate(rejects)])
     return result

@@ -109,22 +109,24 @@ class CollisionSketch:
         return f"CollisionSketch(size={self._size}, n={self._n})"
 
 
-def batched_pair_prefixes(
+def batched_interval_prefixes(
     sample_sets: "list[np.ndarray] | tuple[np.ndarray, ...]",
     n: int,
     grid: np.ndarray,
-) -> np.ndarray:
-    """Pair-count prefixes of ``r`` collision sets on one grid, batched.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hit-count and pair-count prefixes of ``r`` sets on one grid, batched.
 
-    Equivalent to stacking ``CollisionSketch(s, n).prefixes_on_grid(grid)[1]``
+    Equivalent to stacking ``CollisionSketch(s, n).prefixes_on_grid(grid)``
     for each set, but built in a *single* vectorised pass: every set is
     offset into its own ``[i * n, (i + 1) * n)`` stripe of a shared value
     space, the concatenation is sorted and uniqued once, and all ``r * G``
-    grid queries resolve with one ``searchsorted``.  This is the greedy
-    compile path — ``r`` sequential sketch constructions became one sort.
+    grid queries resolve with one ``searchsorted``.  This is the compile
+    path shared by the greedy learner and the tester engine — ``r``
+    sequential sketch constructions became one sort.
 
-    Returns a C-contiguous ``(r, G)`` int64 matrix whose row ``i`` is set
-    ``i``'s pair-count prefix per grid point.
+    Returns ``(count_rows, pair_rows)``, two C-contiguous ``(r, G)`` int64
+    matrices whose row ``i`` holds set ``i``'s per-grid-point prefixes of
+    ``|S^i_I|`` and ``coll(S^i_I)`` respectively.
     """
     sets = [np.asarray(s, dtype=np.int64) for s in sample_sets]
     grid = np.asarray(grid, dtype=np.int64)
@@ -133,7 +135,8 @@ def batched_pair_prefixes(
         # and silently count its pairs; reject rather than mis-answer.
         raise InvalidParameterError("grid points must lie in [0, n]")
     if not sets:
-        return np.zeros((0, grid.size), dtype=np.int64)
+        empty = np.zeros((0, grid.size), dtype=np.int64)
+        return empty, empty.copy()
     for s in sets:
         if s.ndim != 1:
             raise InvalidParameterError(
@@ -151,8 +154,24 @@ def batched_pair_prefixes(
     else:
         values = flat
         counts = np.zeros(0, dtype=np.int64)
+    count_prefix = prefix_sums(counts)
     pair_prefix = prefix_sums(pairs_count(counts))
     queries = offsets[:, None] + grid[None, :]
     idx = np.searchsorted(values, queries.ravel()).reshape(len(sets), grid.size)
-    base = pair_prefix[np.searchsorted(values, offsets)]
-    return np.ascontiguousarray(pair_prefix[idx] - base[:, None])
+    base_idx = np.searchsorted(values, offsets)
+    count_rows = np.ascontiguousarray(count_prefix[idx] - count_prefix[base_idx][:, None])
+    pair_rows = np.ascontiguousarray(pair_prefix[idx] - pair_prefix[base_idx][:, None])
+    return count_rows, pair_rows
+
+
+def batched_pair_prefixes(
+    sample_sets: "list[np.ndarray] | tuple[np.ndarray, ...]",
+    n: int,
+    grid: np.ndarray,
+) -> np.ndarray:
+    """Pair-count prefixes only (the greedy compile path's shape).
+
+    See :func:`batched_interval_prefixes` for the mechanism; this wrapper
+    returns just the C-contiguous ``(r, G)`` pair-count matrix.
+    """
+    return batched_interval_prefixes(sample_sets, n, grid)[1]

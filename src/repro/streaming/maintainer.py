@@ -5,6 +5,13 @@ fast greedy learner.  Between rebuilds the summary is stale by at most
 ``refresh_every`` items, which bounds its extra error by the mass of the
 unseen suffix; the reservoir keeps rebuild quality independent of the
 stream length.
+
+Both engine choices ride through the facade session: ``engine`` selects
+the learner's scoring engine and ``tester_engine`` the flatness engine
+used by :meth:`StreamingHistogramMaintainer.test` /
+:meth:`StreamingHistogramMaintainer.min_k`, which probe the reservoir's
+current contents for k-histogram structure (e.g. to adapt ``k`` as the
+stream drifts).
 """
 
 from __future__ import annotations
@@ -12,7 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.session import HistogramSession
-from repro.core.params import GreedyParams
+from repro.core.params import GreedyParams, TesterParams
+from repro.core.results import TestResult
+from repro.core.selection import SelectionResult
 from repro.errors import InvalidParameterError
 from repro.histograms.tiling import TilingHistogram
 from repro.streaming.reservoir import ReservoirSampler
@@ -45,6 +54,12 @@ class StreamingHistogramMaintainer:
         sliding-window semantics (the summary reflects roughly the last
         ``refresh_every`` items) — use this for drifting streams.  The
         default ``False`` keeps Algorithm R's whole-stream uniformity.
+    engine:
+        Learner scoring engine forwarded to the session
+        (``"incremental"`` or ``"full"``).
+    tester_engine:
+        Flatness engine forwarded to the session for :meth:`test` /
+        :meth:`min_k` (``"compiled"`` or ``"full"``).
     """
 
     def __init__(
@@ -57,6 +72,8 @@ class StreamingHistogramMaintainer:
         reservoir_capacity: int = 4096,
         params: GreedyParams | None = None,
         forget_after_rebuild: bool = False,
+        engine: str = "incremental",
+        tester_engine: str = "compiled",
         rng: "int | None | np.random.Generator" = None,
     ) -> None:
         if n < 1 or k < 1:
@@ -64,6 +81,8 @@ class StreamingHistogramMaintainer:
         self._n = int(n)
         self._k = int(k)
         self._epsilon = float(epsilon)
+        self._engine = engine
+        self._tester_engine = tester_engine
         self._rng = as_rng(rng)
         self._reservoir = ReservoirSampler(reservoir_capacity, self._rng)
         self._refresh_every = (
@@ -86,12 +105,27 @@ class StreamingHistogramMaintainer:
         self._rebuilds = 0
         self._histogram: TilingHistogram | None = None
         # One facade session for the reservoir; its pools are invalidated
-        # before each rebuild because the reservoir's contents change
-        # between them.
+        # lazily (``_sync_session``) whenever the reservoir has absorbed
+        # stream items since they were last filled.
+        self._stale = False
         self._session = self._make_session()
 
     def _make_session(self) -> HistogramSession:
-        return HistogramSession(self._reservoir, self._n, rng=self._rng, method="fast")
+        return HistogramSession(
+            self._reservoir,
+            self._n,
+            rng=self._rng,
+            method="fast",
+            engine=self._engine,
+            tester_engine=self._tester_engine,
+        )
+
+    def _sync_session(self) -> HistogramSession:
+        """The session, with pools dropped if the reservoir has changed."""
+        if self._stale:
+            self._session.invalidate()
+            self._stale = False
+        return self._session
 
     @property
     def items_seen(self) -> int:
@@ -123,6 +157,7 @@ class StreamingHistogramMaintainer:
         self._reservoir.update(int(value))
         self._items_seen += 1
         self._since_rebuild += 1
+        self._stale = True
 
     def update_many(self, values: np.ndarray) -> None:
         """Observe a batch of stream items."""
@@ -132,15 +167,88 @@ class StreamingHistogramMaintainer:
         self._reservoir.update_many(values)
         self._items_seen += int(values.size)
         self._since_rebuild += int(values.size)
+        self._stale = True
 
     def _rebuild(self) -> None:
         if self._reservoir.size == 0:
             return
-        self._session.invalidate()
-        result = self._session.learn(self._k, self._epsilon, params=self._params)
+        session = self._sync_session()
+        result = session.learn(self._k, self._epsilon, params=self._params)
         self._histogram = result.filled_histogram
         self._since_rebuild = 0
         self._rebuilds += 1
         if self._forget_after_rebuild:
             self._reservoir = ReservoirSampler(self._reservoir.capacity, self._rng)
             self._session = self._make_session()
+            self._stale = False
+
+    # -------------------------------------------------------------- #
+    # testing the stream
+    # -------------------------------------------------------------- #
+
+    def _tester_params(self, params: TesterParams | None) -> TesterParams:
+        if params is not None:
+            return params
+        # Like the learner default: the reservoir cannot support more
+        # independent information than it holds, so budget per set is
+        # tied to its capacity (sets are drawn with replacement).
+        return TesterParams(
+            num_sets=5, set_size=max(self._reservoir.capacity, 16)
+        )
+
+    def test(
+        self,
+        k: int | None = None,
+        epsilon: float | None = None,
+        *,
+        norm: str = "l2",
+        params: TesterParams | None = None,
+        engine: str | None = None,
+    ) -> TestResult:
+        """Test the reservoir's contents for tiling k-histogram structure.
+
+        Defaults to the maintainer's own ``(k, epsilon)`` — "does the
+        summary's shape assumption still hold?" — and runs through the
+        session, so repeated probes between stream updates share one
+        draw, one compiled tester sketch, and its verdict memo.
+        """
+        if self._reservoir.size == 0:
+            raise InvalidParameterError("no stream items observed yet; update() first")
+        k = self._k if k is None else int(k)
+        epsilon = self._epsilon if epsilon is None else float(epsilon)
+        session = self._sync_session()
+        resolved = self._tester_params(params)
+        if norm == "l2":
+            return session.test_l2(k, epsilon, params=resolved, engine=engine)
+        if norm == "l1":
+            return session.test_l1(k, epsilon, params=resolved, engine=engine)
+        raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
+
+    def min_k(
+        self,
+        epsilon: float | None = None,
+        *,
+        max_k: int | None = None,
+        norm: str = "l1",
+        params: TesterParams | None = None,
+        engine: str | None = None,
+    ) -> SelectionResult:
+        """Smallest credible bucket count for the reservoir's contents.
+
+        Useful for adapting ``k`` as the stream drifts; shares the
+        session budget (and compiled verdict memo) with :meth:`test`.
+        ``norm`` defaults to ``"l1"``, matching :func:`estimate_min_k`
+        and :meth:`repro.api.HistogramSession.min_k` (the reservoir-sized
+        default ``params`` keep the l1 budget practical).
+        """
+        if self._reservoir.size == 0:
+            raise InvalidParameterError("no stream items observed yet; update() first")
+        epsilon = self._epsilon if epsilon is None else float(epsilon)
+        session = self._sync_session()
+        return session.min_k(
+            epsilon,
+            max_k=max_k,
+            norm=norm,
+            params=self._tester_params(params),
+            engine=engine,
+        )
