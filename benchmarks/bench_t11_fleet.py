@@ -1,0 +1,139 @@
+"""T11 — fleet serving: HistogramFleet vs a looped-session baseline.
+
+The fleet claim (README.md, "Fleet serving"): answering a serving sweep
+— a ``(k, epsilon)`` tester grid in both norms plus min-k selection —
+for 64 streams over one shared domain through one
+:class:`~repro.api.HistogramFleet` must beat looping a fresh
+:class:`~repro.api.HistogramSession` per stream, cold compile included,
+while returning byte-identical results (verdicts, query logs, learned
+histograms).  Kernels come in ``<name>`` / ``<name>_loop`` pairs that
+feed ``BENCH_fleet.json`` via ``benchmarks/record_fleet_bench.py``.
+
+Workloads:
+
+* ``test_fleet_serving_64`` — the tester sweep over 64 bootstrap
+  streams (the headline pair; acceptance bar: >= 3x recorded);
+* ``test_fleet_learn_64`` — a greedy learn over the same 64 streams
+  (the smaller win: the fleet's sort-free compile, same greedy rounds).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.api import ArraySource, HistogramFleet, HistogramSession
+from repro.core.params import GreedyParams, TesterParams
+from repro.distributions import families
+
+N = 4_096
+FLEET_SIZE = 64
+STREAM_LENGTH = 100_000
+TEST_PARAMS = TesterParams(num_sets=15, set_size=8_000)
+L2_GRID = [
+    (k, eps)
+    for k in (4, 8)
+    for eps in (0.2, 0.225, 0.25, 0.275, 0.3, 0.325, 0.35, 0.375)
+]
+L1_GRID = [(k, eps) for k in (4, 8) for eps in (0.2, 0.25, 0.3, 0.35)]
+
+# The learn pair runs on its own narrow domain: with a compile-bound
+# budget (few greedy rounds, large collision sets) the pair isolates the
+# fleet's sort-free prefix builder; a wide domain would instead measure
+# candidate-set construction, which both paths share unchanged.
+LEARN_N = 256
+LEARN_PARAMS = GreedyParams(
+    weight_sample_size=20_000, collision_sets=9, collision_set_size=120_000, rounds=3
+)
+
+
+@lru_cache(maxsize=None)
+def _sources() -> tuple[ArraySource, ...]:
+    """64 bootstrap streams: observed columns of a zipf base (cached;
+    both kernels of a pair serve the same streams)."""
+    base = families.zipf(N, 1.0)
+    return tuple(
+        ArraySource(base.sample(STREAM_LENGTH, np.random.default_rng(1_000 + f)), N)
+        for f in range(FLEET_SIZE)
+    )
+
+
+@lru_cache(maxsize=None)
+def _learn_sources() -> tuple[ArraySource, ...]:
+    """64 narrower streams for the learn pair (see LEARN_N note)."""
+    base = families.zipf(LEARN_N, 1.0)
+    return tuple(
+        ArraySource(base.sample(STREAM_LENGTH, np.random.default_rng(2_000 + f)), LEARN_N)
+        for f in range(FLEET_SIZE)
+    )
+
+
+_SEEDS = list(range(FLEET_SIZE))
+
+
+def _serving_fleet():
+    """The tester sweep through one fleet (cold compile every call)."""
+    fleet = HistogramFleet(_sources(), N, rngs=_SEEDS, test_budget=TEST_PARAMS)
+    l2 = fleet.test_many(L2_GRID, norm="l2")
+    l1 = fleet.test_many(L1_GRID, norm="l1")
+    min_k_l2 = fleet.min_k(0.3, max_k=8, norm="l2")
+    min_k_l1 = fleet.min_k(0.3, max_k=8, norm="l1")
+    return l2, l1, min_k_l2, min_k_l1
+
+
+def _serving_loop():
+    """The same sweep, one fresh session per stream (the reference)."""
+    l2, l1, min_k_l2, min_k_l1 = [], [], [], []
+    for source, seed in zip(_sources(), _SEEDS):
+        session = HistogramSession(source, N, rng=seed, test_budget=TEST_PARAMS)
+        l2.append(session.test_many(L2_GRID, norm="l2"))
+        l1.append(session.test_many(L1_GRID, norm="l1"))
+        min_k_l2.append(session.min_k(0.3, max_k=8, norm="l2"))
+        min_k_l1.append(session.min_k(0.3, max_k=8, norm="l1"))
+    return l2, l1, min_k_l2, min_k_l1
+
+
+def _learn_fleet():
+    fleet = HistogramFleet(
+        _learn_sources(), LEARN_N, rngs=_SEEDS, learn_budget=LEARN_PARAMS
+    )
+    return fleet.learn(4, 0.25)
+
+
+def _learn_loop():
+    return [
+        HistogramSession(
+            source, LEARN_N, rng=seed, learn_budget=LEARN_PARAMS
+        ).learn(4, 0.25)
+        for source, seed in zip(_learn_sources(), _SEEDS)
+    ]
+
+
+def test_fleet_serving_64(benchmark):
+    """64-stream tester sweep through the fleet (cold compile included)."""
+    results = benchmark.pedantic(_serving_fleet, rounds=3, iterations=1, warmup_rounds=1)
+    assert results == _serving_loop()  # byte-identical verdicts and logs
+
+
+def test_fleet_serving_64_loop(benchmark):
+    """The looped-session baseline for the 64-stream tester sweep."""
+    results = benchmark.pedantic(_serving_loop, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(results[0]) == FLEET_SIZE
+
+
+def test_fleet_learn_64(benchmark):
+    """64-stream greedy learn through the fleet (sort-free compile)."""
+    results = benchmark.pedantic(_learn_fleet, rounds=2, iterations=1, warmup_rounds=1)
+    reference = _learn_loop()
+    assert all(
+        np.array_equal(a.histogram.values, b.histogram.values)
+        and np.array_equal(a.histogram.boundaries, b.histogram.boundaries)
+        for a, b in zip(results, reference)
+    )
+
+
+def test_fleet_learn_64_loop(benchmark):
+    """The looped-session baseline for the 64-stream learn."""
+    results = benchmark.pedantic(_learn_loop, rounds=2, iterations=1, warmup_rounds=1)
+    assert len(results) == FLEET_SIZE

@@ -1,0 +1,110 @@
+"""Summarise fleet benchmark runs into ``BENCH_fleet.json``.
+
+``bench_t11_fleet.py`` benchmarks every workload twice in one run —
+``<kernel>`` through :class:`repro.api.HistogramFleet` and
+``<kernel>_loop`` through the looped-session baseline — so a single
+``pytest-benchmark`` json carries its own pairing.  Two modes:
+
+* seed / refresh the checked-in record::
+
+      python benchmarks/record_fleet_bench.py \
+          --run run.json --out BENCH_fleet.json
+
+* diff a fresh CI run against the checked-in record (the run's fleet
+  times are compared to the record's ``fleet_s`` — the perf trajectory —
+  while the speedup is still computed from the run's own pairing)::
+
+      python benchmarks/record_fleet_bench.py \
+          --run run.json --baseline BENCH_fleet.json --out BENCH_fleet.ci.json
+
+Speedups are computed from each kernel's *minimum* round time: the pairs
+run interleaved on shared CI machines, and the minimum is the standard
+noise-robust location estimate for timing under contention (the mean is
+also recorded).  The summary keeps one entry per kernel pair, small
+enough to live in the repository and be diffed by future PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+LOOP_SUFFIX = "_loop"
+
+
+def _stats(pytest_benchmark_json: str) -> dict[str, dict[str, float]]:
+    with open(pytest_benchmark_json) as handle:
+        data = json.load(handle)
+    return {
+        bench["name"]: {
+            "mean_s": bench["stats"]["mean"],
+            "min_s": bench["stats"]["min"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in data["benchmarks"]
+    }
+
+
+def _summary(
+    stats: dict[str, dict[str, float]],
+    baseline: dict[str, dict] | None = None,
+) -> dict:
+    benchmarks = {}
+    for name, fleet in stats.items():
+        if name.endswith(LOOP_SUFFIX) or not name.startswith("test_fleet"):
+            continue
+        entry = {
+            "fleet_s": round(fleet["min_s"], 5),
+            "fleet_mean_s": round(fleet["mean_s"], 5),
+        }
+        loop = stats.get(name + LOOP_SUFFIX)
+        if loop is not None:
+            entry["loop_s"] = round(loop["min_s"], 5)
+            entry["loop_mean_s"] = round(loop["mean_s"], 5)
+            if fleet["min_s"] > 0:
+                entry["speedup"] = round(loop["min_s"] / fleet["min_s"], 2)
+        if baseline is not None and name in baseline:
+            recorded = baseline[name].get("fleet_s")
+            if recorded and fleet["min_s"] > 0:
+                entry["baseline_fleet_s"] = recorded
+                entry["vs_baseline"] = round(recorded / fleet["min_s"], 2)
+        benchmarks[name] = entry
+    return {
+        "suite": "bench_t11_fleet kernel pairs (each workload runs through "
+        "HistogramFleet and as a looped-session baseline in the same run; "
+        "speedup = loop_s / fleet_s over per-kernel minimum round times, "
+        "cold compile included)",
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run", required=True, help="pytest-benchmark json of a run")
+    parser.add_argument("--baseline", help="checked-in BENCH_fleet.json to diff against")
+    parser.add_argument("--out", default="BENCH_fleet.json", help="output path")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)["benchmarks"]
+    summary = _summary(_stats(args.run), baseline)
+
+    with open(args.out, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in sorted(summary["benchmarks"].items()):
+        ratio = f' ({entry["speedup"]}x)' if "speedup" in entry else ""
+        drift = (
+            f' [vs baseline {entry["vs_baseline"]}x]' if "vs_baseline" in entry else ""
+        )
+        print(f'{name}: {entry["fleet_s"]}s{ratio}{drift}')
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Public surface (see README.md for a tour):
 * sessions:  :class:`HistogramSession` — the recommended front door:
   draw a sample budget once, compile sketches once, answer batched
   learn/test/min-k operations with cross-call caching;
+* fleets:    :class:`HistogramFleet` — batched learn/test over many
+  distributions sharing a domain (vectorised compilation and lockstep
+  tester searches, byte-identical to a loop of sessions);
 * learning:  :func:`learn_histogram` (Algorithm 1 / Theorem 2);
 * testing:   :func:`test_k_histogram_l2`, :func:`test_k_histogram_l1`
   (Theorems 3/4), :func:`test_uniformity` (the k=1 special case);
@@ -29,6 +32,7 @@ Public surface (see README.md for a tour):
 from repro.api import (
     ArraySource,
     CountingSource,
+    HistogramFleet,
     HistogramSession,
     SampleSource,
     SketchBundle,
@@ -64,6 +68,7 @@ from repro.distributions import (
     nearest_k_histogram,
 )
 from repro.errors import (
+    EmptyStreamError,
     InsufficientSamplesError,
     InvalidDistributionError,
     InvalidHistogramError,
@@ -80,7 +85,9 @@ __all__ = [
     "CountingSource",
     "DiscreteDistribution",
     "EmpiricalDistribution",
+    "EmptyStreamError",
     "GreedyParams",
+    "HistogramFleet",
     "HistogramSession",
     "InsufficientSamplesError",
     "Interval",

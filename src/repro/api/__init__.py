@@ -4,6 +4,9 @@ This package is the recommended front door to the library:
 
 * :class:`HistogramSession` — draw a sample budget once, compile sketches
   once, answer many learn/test/min-k operations over it;
+* :class:`HistogramFleet` — the same facade over many distributions
+  sharing a domain: pooled draws, stacked sort-free compilation, and
+  lockstep tester searches, byte-identical to a loop of sessions;
 * :class:`SampleSource` — the formal protocol every algorithm consumes a
   distribution through, with :func:`as_sample_source`,
   :class:`ArraySource`, and :class:`CountingSource` adapters;
@@ -13,6 +16,7 @@ The classic module-level functions (:func:`repro.learn_histogram` and
 friends) remain as one-shot compositions of the same machinery.
 """
 
+from repro.api.fleet import HistogramFleet
 from repro.api.session import HistogramSession
 from repro.api.sketches import SketchBundle
 from repro.api.source import (
@@ -25,6 +29,7 @@ from repro.api.source import (
 __all__ = [
     "ArraySource",
     "CountingSource",
+    "HistogramFleet",
     "HistogramSession",
     "SampleSource",
     "SketchBundle",

@@ -238,6 +238,19 @@ class SketchBundle:
             self._compiled_cache[key] = compiled
         return samples, compiled
 
+    def tester_sets(self, params: TesterParams) -> "list[np.ndarray]":
+        """The raw test-family draw of exactly ``params``' sizes (pool views).
+
+        Grows the pool if needed; the views are what both
+        :meth:`multi_sketch` and the fleet compiler consume, so the two
+        paths are guaranteed to sketch the same samples.
+        """
+        self.ensure_tester_pool(params)
+        return [
+            pool.view(params.set_size)
+            for pool in self._tester_pool[: params.num_sets]
+        ]
+
     def multi_sketch(self, params: TesterParams) -> MultiSketch:
         """The test-family :class:`MultiSketch` for ``params``' sizes.
 
@@ -245,24 +258,17 @@ class SketchBundle:
         sharing one budget reuses both the raw draw and the built
         sketches.
         """
-        self.ensure_tester_pool(params)
         key = (params.num_sets, params.set_size)
         multi = self._multi_cache.get(key)
         if multi is None:
-            multi = MultiSketch.from_sample_sets(
-                [
-                    pool.view(params.set_size)
-                    for pool in self._tester_pool[: params.num_sets]
-                ],
-                self._n,
-            )
+            multi = MultiSketch.from_sample_sets(self.tester_sets(params), self._n)
             self._multi_cache[key] = multi
         return multi
 
     def compiled_tester(
         self, params: TesterParams
-    ) -> tuple[MultiSketch, CompiledTesterSketches]:
-        """The test-family sketch plus its compiled gather layout.
+    ) -> tuple[MultiSketch | None, CompiledTesterSketches]:
+        """The test-family compiled gather layout (plus the sketch, if built).
 
         Memoised per ``(num_sets, set_size)`` alongside
         :meth:`multi_sketch`: a grid of tester or min-k calls sharing one
@@ -270,11 +276,72 @@ class SketchBundle:
         the flatness-verdict memo — later calls start with every verdict
         the earlier ones already established.  Dropped by
         :meth:`invalidate` together with the pools.
+
+        When the compiled object is already cached (or was planted by a
+        fleet compiler via :meth:`adopt_compiled_tester`), the raw
+        :class:`MultiSketch` is not built just to be returned — the first
+        element is then whatever the multi cache holds, possibly
+        ``None``.  The compiled engine never needs it; the ``"full"``
+        engine asks :meth:`multi_sketch` directly.
         """
-        multi = self.multi_sketch(params)
         key = (params.num_sets, params.set_size)
         compiled = self._tester_compiled_cache.get(key)
-        if compiled is None:
-            compiled = compile_tester_sketches(multi)
-            self._tester_compiled_cache[key] = compiled
+        if compiled is not None:
+            return self._multi_cache.get(key), compiled
+        multi = self.multi_sketch(params)
+        compiled = compile_tester_sketches(multi)
+        self._tester_compiled_cache[key] = compiled
         return multi, compiled
+
+    # -------------------------------------------------------------- #
+    # fleet plants (precompiled structures adopted into the caches)
+    # -------------------------------------------------------------- #
+
+    def adopt_compiled_tester(
+        self, params: TesterParams, compiled: CompiledTesterSketches
+    ) -> None:
+        """Adopt a precompiled tester layout for ``params``' budget.
+
+        The fleet compiler builds per-member gather layouts from the
+        pooled samples without per-member sketches; planting them here
+        makes every subsequent session call on this budget — tester,
+        min-k, or a direct :meth:`compiled_tester` — reuse the planted
+        object and its verdict memo, exactly as if the session had
+        compiled it itself.  The caller vouches that ``compiled`` was
+        built over :meth:`tester_sets` of the same ``params``.
+        """
+        if (
+            compiled.n != self._n
+            or compiled.num_sets != params.num_sets
+            or compiled.set_size != params.set_size
+        ):
+            raise InvalidParameterError(
+                "compiled tester layout does not match the bundle's domain "
+                "or the params' (num_sets, set_size)"
+            )
+        self._tester_compiled_cache[(params.num_sets, params.set_size)] = compiled
+
+    def adopt_compiled_sketches(
+        self,
+        params: GreedyParams,
+        *,
+        method: str,
+        max_candidates: int | None,
+        compiled: CompiledGreedySketches,
+    ) -> None:
+        """Adopt precompiled greedy sketches for one learn configuration.
+
+        Mirrors :meth:`adopt_compiled_tester` for the learn family: the
+        key is the one :meth:`compiled_sketches` would use, so a later
+        ``learn`` call with the same configuration skips compilation
+        entirely.  The caller vouches that ``compiled`` was built over
+        :meth:`learn_samples` of the same ``params``.
+        """
+        key = (
+            method,
+            max_candidates,
+            params.weight_sample_size,
+            params.collision_sets,
+            params.collision_set_size,
+        )
+        self._compiled_cache[key] = compiled

@@ -17,6 +17,7 @@ from repro.core.candidates import (
 from repro.core.flatness import (
     CompiledTesterSketches,
     FlatnessResult,
+    FleetTesterSketches,
     compile_tester_sketches,
     flatness_oracle,
     test_flatness_l1,
@@ -45,10 +46,13 @@ from repro.core.results import FlatnessQuery, LearnResult, TestResult, Uniformit
 from repro.core.selection import (
     SelectionResult,
     estimate_min_k,
+    select_min_k_on_fleet,
     select_min_k_on_sketch,
 )
 from repro.core.tester import (
     draw_tester_sets,
+    fleet_flat_partition,
+    fleet_test_on_sketches,
     test_k_histogram_l1,
     test_k_histogram_l2,
     test_l1_on_sketch,
@@ -61,6 +65,7 @@ __all__ = [
     "CompiledTesterSketches",
     "FlatnessQuery",
     "FlatnessResult",
+    "FleetTesterSketches",
     "GreedyParams",
     "GreedySamples",
     "IdentityResult",
@@ -77,11 +82,14 @@ __all__ = [
     "draw_tester_sets",
     "estimate_min_k",
     "flatness_oracle",
+    "fleet_flat_partition",
+    "fleet_test_on_sketches",
     "greedy_rounds",
     "learn_from_samples",
     "learn_histogram",
     "no_instance",
     "sample_endpoint_candidates",
+    "select_min_k_on_fleet",
     "select_min_k_on_sketch",
     "test_flatness_l1",
     "test_flatness_l2",

@@ -32,7 +32,13 @@ The module is layered so Algorithm 2 can run on a *compiled* engine
   length-``r`` ratio, and a median — no sorting, searching, or
   allocation — with verdicts memoised by
   ``(start, stop, metric, epsilon, scale)`` across binary searches,
-  ``test_many`` grid points, and min-k sweeps.
+  ``test_many`` grid points, and min-k sweeps;
+* **fleet layer** — :class:`FleetTesterSketches` stacks many members'
+  compiled layouts on a leading fleet axis and
+  :class:`FleetFlatnessOracle` answers one batch of probes (at most one
+  per member) with fleet-axis gathers and row-wise medians, keeping
+  each member's verdict memo and accounting byte-compatible with the
+  single-member engine (README.md, "Fleet serving").
 """
 
 from __future__ import annotations
@@ -363,6 +369,310 @@ class CompiledTesterSketches:
         return (
             f"CompiledTesterSketches(n={self.n}, r={self.num_sets}, "
             f"m={self._set_size}, memo={self.memo_size})"
+        )
+
+
+class FleetFlatnessOracle:
+    """A validate-once batched flatness oracle over a fleet's stacks.
+
+    The lockstep partition driver (:func:`repro.core.tester.fleet_flat_partition`)
+    separates memo traffic from fresh statistics: :meth:`lookup` answers a
+    single member's probe from that member's verdict memo (or reports a
+    miss), and :meth:`resolve` computes one batch of misses — at most one
+    per member — with fleet-axis gathers and row-wise medians.  Both
+    sides of the split maintain the per-member memo and its hit/miss
+    accounting exactly as :meth:`CompiledTesterSketches.query` would, so
+    a fleet run leaves every member's compiled sketches in the same state
+    a looped single-session run would have.
+
+    The vectorised verdict math mirrors :func:`l2_flatness_verdict` /
+    :func:`l1_flatness_verdict` expression for expression (same operand
+    order, same dtypes), which is what makes the batched results
+    bit-identical to the scalar kernels — the lockstep suite asserts it.
+    """
+
+    __slots__ = ("_fleet", "_metric", "_epsilon", "_scale")
+
+    def __init__(
+        self, fleet: "FleetTesterSketches", metric: str, epsilon: float, scale: float
+    ) -> None:
+        self._fleet = fleet
+        self._metric = metric
+        self._epsilon = epsilon
+        self._scale = scale
+
+    @property
+    def suffix(self) -> tuple:
+        """The ``(metric, epsilon, scale)`` tail of every memo key."""
+        return (self._metric, self._epsilon, self._scale)
+
+    def member_memo(self, member: int) -> dict:
+        """Member ``member``'s verdict memo, for direct-read fast paths.
+
+        A caller that reads the memo directly (the lockstep driver's
+        fast-forward loop) must report its hit counts through
+        :meth:`flush_hits` so the per-member accounting stays identical
+        to the :meth:`CompiledTesterSketches.query` path.
+        """
+        return self._fleet.member(member)._memo
+
+    def flush_hits(self, members: "list[int]", hits: "list[int]") -> None:
+        """Credit locally-accumulated memo hits to their members."""
+        for member, count in zip(members, hits):
+            if count:
+                self._fleet.member(member).memo_hits += count
+
+    def lookup(self, member: int, start: int, stop: int) -> FlatnessResult | None:
+        """The memoised verdict for one member's probe, or ``None`` on miss."""
+        sketches = self._fleet.member(member)
+        cached = sketches._memo.get(
+            (start, stop, self._metric, self._epsilon, self._scale)
+        )
+        if cached is not None:
+            sketches.memo_hits += 1
+        return cached
+
+    def resolve(
+        self, members: np.ndarray, starts: np.ndarray, stops: np.ndarray
+    ) -> list[FlatnessResult]:
+        """Fresh verdicts for a batch of memo misses (one per member).
+
+        Gathers every probed member's per-set hit/pair rows with two
+        fancy indexes on the ``(F, n + 1, r)`` stacks, evaluates the
+        light checks and (for non-light rows only, matching the scalar
+        kernels' lazy median) the median-of-r statistics, then memoises
+        each verdict on its member with a miss tick.
+        """
+        members = np.asarray(members, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.asarray(stops, dtype=np.int64)
+        if np.any(stops <= starts):
+            raise InvalidParameterError(
+                "flatness test needs non-empty intervals in every probe"
+            )
+        epsilon, scale, metric = self._epsilon, self._scale, self._metric
+        count_stack, pair_stack = self._fleet.stacks
+        set_size = self._fleet.set_size
+        counts = count_stack[members, stops] - count_stack[members, starts]
+        lengths = stops - starts
+        if metric == "l2":
+            light = np.any(counts / set_size < epsilon**2 / 2, axis=1)
+        else:
+            # scale * flatness_l1_min_hits(length, epsilon), vectorised:
+            # np.sqrt and math.sqrt are both correctly-rounded IEEE ops,
+            # so the batched thresholds equal the scalar kernel's bits.
+            min_hits = scale * ((16**3) * np.sqrt(lengths) / epsilon**4)
+            light = np.any(counts < min_hits[:, None], axis=1)
+        heavy = ~light
+        z = np.zeros(members.shape[0])
+        threshold = np.zeros(members.shape[0])
+        if np.any(heavy):
+            h_counts = counts[heavy]
+            pairs = (
+                pair_stack[members[heavy], stops[heavy]]
+                - pair_stack[members[heavy], starts[heavy]]
+            )
+            denom = (h_counts - 1) * h_counts // 2
+            ratio = np.zeros(h_counts.shape, dtype=np.float64)
+            np.divide(pairs, denom, out=ratio, where=denom > 0)
+            z[heavy] = np.median(ratio, axis=1)
+            if metric == "l2":
+                p_hat = 2.0 * h_counts / set_size
+                threshold[heavy] = 1.0 / lengths[heavy] + np.max(
+                    epsilon**2 / (2.0 * p_hat), axis=1
+                )
+            else:
+                threshold[heavy] = (1.0 / lengths[heavy]) * (1.0 + epsilon**2 / 4.0)
+        results: list[FlatnessResult] = []
+        fleet_members = self._fleet._members
+        z_list = z.tolist()
+        threshold_list = threshold.tolist()
+        for member, start, stop, is_light, stat, bound in zip(
+            members.tolist(), starts.tolist(), stops.tolist(),
+            light.tolist(), z_list, threshold_list,
+        ):
+            if is_light:
+                result = FlatnessResult(True, REASON_LIGHT, None, None)
+            elif stat <= bound:
+                result = FlatnessResult(True, REASON_COLLISION_OK, stat, bound)
+            else:
+                result = FlatnessResult(False, REASON_REJECTED, stat, bound)
+            sketches = fleet_members[member]
+            sketches.memo_misses += 1
+            sketches._memo[(start, stop, metric, epsilon, scale)] = result
+            results.append(result)
+        return results
+
+
+class FleetTesterSketches:
+    """F members' compiled tester sketches stacked on a leading fleet axis.
+
+    The per-member layout is exactly :class:`CompiledTesterSketches`'s
+    C-contiguous ``(n + 1, r)`` gather matrix; the fleet stacks them into
+    two ``(F, n + 1, r)`` arrays so one batched flatness step can gather
+    any subset of members' rows with a single fancy index (see
+    :class:`FleetFlatnessOracle`).  Every member keeps its own
+    :class:`CompiledTesterSketches` wrapping a zero-copy view of its
+    slab, so the verdict memo — and its hit/miss accounting — stays per
+    member, byte-compatible with a looped single-session run.
+
+    Members compile independently (:meth:`compile_member`) and can be
+    dropped independently (:meth:`drop_member`), which is what gives the
+    fleet facade its lazy per-member invalidation: refreshing one
+    member's stream recompiles one slab, not the fleet.
+
+    Memory is O(F n r); the per-member ``engine="full"`` path remains
+    available for domains too large to afford that.
+    """
+
+    def __init__(self, n: int, num_sets: int, set_size: int, fleet_size: int) -> None:
+        if n < 1 or num_sets < 1 or set_size < 1 or fleet_size < 1:
+            raise InvalidParameterError(
+                "FleetTesterSketches needs n, num_sets, set_size, fleet_size >= 1"
+            )
+        self._count_stack = np.zeros((fleet_size, n + 1, num_sets), dtype=np.int64)
+        self._pair_stack = np.zeros((fleet_size, n + 1, num_sets), dtype=np.int64)
+        self._set_size = int(set_size)
+        self._members: list[CompiledTesterSketches | None] = [None] * fleet_size
+
+    @property
+    def n(self) -> int:
+        """Domain size (the stacks hold every endpoint ``0..n``)."""
+        return self._count_stack.shape[1] - 1
+
+    @property
+    def num_sets(self) -> int:
+        """The replication factor ``r``."""
+        return self._count_stack.shape[2]
+
+    @property
+    def set_size(self) -> int:
+        """``m``, the (common) size of each sample set."""
+        return self._set_size
+
+    @property
+    def fleet_size(self) -> int:
+        """Number of member slots ``F``."""
+        return len(self._members)
+
+    @property
+    def stacks(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(F, n + 1, r)`` count/pair prefix stacks."""
+        return self._count_stack, self._pair_stack
+
+    def member(self, index: int) -> CompiledTesterSketches:
+        """Member ``index``'s compiled sketches (must be compiled)."""
+        sketches = self._members[index]
+        if sketches is None:
+            raise InvalidParameterError(f"fleet member {index} is not compiled")
+        return sketches
+
+    def member_or_none(self, index: int) -> CompiledTesterSketches | None:
+        """Member ``index``'s compiled sketches, or ``None``."""
+        return self._members[index]
+
+    def _detach_member(self, index: int) -> None:
+        """Give an outgoing member its own copy of the slab data.
+
+        Members wrap zero-copy views of their slab, so overwriting the
+        slab would otherwise mutate a previously issued
+        :class:`CompiledTesterSketches` in place — leaving any held
+        reference with its old verdict memo over new numbers.  Copying
+        on replacement (a rare, invalidation-driven path) keeps every
+        outstanding object internally consistent.
+        """
+        outgoing = self._members[index]
+        if outgoing is not None and np.shares_memory(
+            outgoing._count_cols, self._count_stack
+        ):
+            outgoing._count_cols = outgoing._count_cols.copy()
+            outgoing._pair_cols = outgoing._pair_cols.copy()
+
+    def compile_member(
+        self, index: int, sample_sets: "list[np.ndarray]"
+    ) -> CompiledTesterSketches:
+        """(Re)compile one member's slab from its raw sample sets.
+
+        Uses the sort-free dense prefix builder
+        (:func:`repro.samples.collision.dense_interval_prefixes`) when
+        the domain is within a constant of the member's total sample
+        count — the fleet-serving regime — and falls back to the
+        one-sort batched pass for very large sparse domains.  Both
+        produce identical integers, so the choice never shows in any
+        verdict.  The returned member wraps a zero-copy view of the slab
+        and starts with a fresh (empty) verdict memo.
+        """
+        from repro.samples.collision import (
+            batched_interval_prefixes,
+            dense_interval_prefixes,
+        )
+
+        self._detach_member(index)
+        n = self.n
+        if len(sample_sets) != self.num_sets or any(
+            s.shape[0] != self._set_size for s in sample_sets
+        ):
+            raise InvalidParameterError(
+                "sample sets do not match the fleet's (num_sets, set_size) layout"
+            )
+        if n + 1 <= 4 * self.num_sets * self._set_size:
+            count_rows, pair_rows = dense_interval_prefixes(sample_sets, n)
+        else:
+            grid = np.arange(n + 1, dtype=np.int64)
+            count_rows, pair_rows = batched_interval_prefixes(sample_sets, n, grid)
+        self._count_stack[index] = count_rows.T
+        self._pair_stack[index] = pair_rows.T
+        member = CompiledTesterSketches(
+            self._count_stack[index], self._pair_stack[index], self._set_size
+        )
+        self._members[index] = member
+        return member
+
+    def adopt_member(self, index: int, sketches: CompiledTesterSketches) -> None:
+        """Adopt an externally compiled member into the stacks.
+
+        Copies the member's gather layout into its slab and keeps the
+        *object* — verdict memo, accounting and all — as the fleet
+        member, so a session that compiled (and partially memoised) its
+        own sketches before joining a fleet operation loses nothing.
+        """
+        if (
+            sketches.n != self.n
+            or sketches.num_sets != self.num_sets
+            or sketches.set_size != self._set_size
+        ):
+            raise InvalidParameterError(
+                "compiled sketches do not match the fleet's (n, r, m) layout"
+            )
+        if self._members[index] is not sketches:
+            self._detach_member(index)
+            self._count_stack[index] = sketches._count_cols
+            self._pair_stack[index] = sketches._pair_cols
+            self._members[index] = sketches
+
+    def drop_member(self, index: int) -> None:
+        """Forget one member's compiled sketches (its source changed).
+
+        The outgoing member is detached first, so a reference held
+        elsewhere keeps consistent data when the slab is recompiled.
+        """
+        self._detach_member(index)
+        self._members[index] = None
+
+    def oracle(
+        self, metric: str, epsilon: float, scale: float = 1.0
+    ) -> FleetFlatnessOracle:
+        """A validate-once batched oracle over the compiled members."""
+        validate_metric(metric)
+        validate_flatness_epsilon(epsilon)
+        validate_flatness_scale(scale)
+        return FleetFlatnessOracle(self, metric, epsilon, scale)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        compiled = sum(1 for m in self._members if m is not None)
+        return (
+            f"FleetTesterSketches(F={self.fleet_size} ({compiled} compiled), "
+            f"n={self.n}, r={self.num_sets}, m={self._set_size})"
         )
 
 

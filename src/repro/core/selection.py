@@ -21,11 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.flatness import CompiledTesterSketches
+from repro.core.flatness import CompiledTesterSketches, FleetTesterSketches
 from repro.core.params import TesterParams
 from repro.core.tester import (
     draw_tester_sets,
     flat_partition,
+    fleet_flat_partition,
     l1_effective_scale,
     resolve_flatness_oracle,
 )
@@ -119,7 +120,7 @@ def estimate_min_k(
 
 
 def select_min_k_on_sketch(
-    multi: MultiSketch,
+    multi: MultiSketch | None,
     n: int,
     epsilon: float,
     *,
@@ -151,6 +152,16 @@ def select_min_k_on_sketch(
         multi, norm, epsilon, scale=effective_scale, engine=engine, compiled=compiled
     )
     partition, _ = flat_partition(n, max_k, oracle)
+    return _selection_from_partition(n, max_k, partition, params)
+
+
+def _selection_from_partition(
+    n: int,
+    max_k: int,
+    partition: "list[Interval]",
+    params: TesterParams,
+) -> SelectionResult:
+    """Read the min-k answer off a left-greedy partition (shared logic)."""
     covered = partition[-1].stop if partition else 0
     found: int | None = len(partition) if covered >= n else None
     tried = [(k, found is not None and k >= found) for k in range(1, max_k + 1)]
@@ -160,3 +171,39 @@ def select_min_k_on_sketch(
         tried=tried,
         samples_used=params.total_samples,
     )
+
+
+def select_min_k_on_fleet(
+    fleet: FleetTesterSketches,
+    n: int,
+    epsilon: float,
+    *,
+    max_k: int,
+    norm: str = "l1",
+    params: TesterParams,
+    members: "list[int] | None" = None,
+) -> list[SelectionResult]:
+    """The min-k search across a compiled fleet, lockstep-batched.
+
+    The fleet-axis counterpart of :func:`select_min_k_on_sketch`: one
+    validated oracle, one lockstep left-greedy sweep
+    (:func:`repro.core.tester.fleet_flat_partition`), one
+    :class:`SelectionResult` per member in member order — each
+    byte-identical to the single-sketch search on that member's compiled
+    sketches, memo accounting included.
+    """
+    if not 1 <= max_k <= n:
+        raise InvalidParameterError(f"max_k must be in [1, n], got {max_k}")
+    if norm not in ("l1", "l2"):
+        raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
+    if members is None:
+        members = list(range(fleet.fleet_size))
+    effective_scale = (
+        1.0 if norm == "l2" else l1_effective_scale(n, max_k, epsilon, params)
+    )
+    oracle = fleet.oracle(norm, epsilon, scale=effective_scale)
+    outcomes = fleet_flat_partition(n, max_k, oracle, members)
+    return [
+        _selection_from_partition(n, max_k, partition, params)
+        for partition, _ in outcomes
+    ]

@@ -37,6 +37,9 @@ from repro.core.flatness import (
     REASON_REJECTED,
     CompiledTesterSketches,
     FlatnessOracle,
+    FlatnessResult,
+    FleetFlatnessOracle,
+    FleetTesterSketches,
     compile_tester_sketches,
     flatness_oracle,
 )
@@ -100,6 +103,196 @@ def flat_partition(
     return partition, queries
 
 
+class _FleetPartitionState:
+    """One member's Algorithm 2 binary-search state, lockstep-steppable.
+
+    A verbatim state-machine translation of :func:`flat_partition`'s
+    nested loops: ``(previous, low, high, pieces)`` hold the sequential
+    code's loop variables, and :meth:`advance` consumes one probe's
+    verdict — logging it and updating the search — returning whether the
+    member still has probes to make.  Driving every member through the
+    same transitions the sequential code takes is what keeps a fleet
+    run's per-member partitions *and query logs* byte-identical to a
+    loop of single-member runs.
+    """
+
+    __slots__ = ("n", "max_pieces", "previous", "pieces", "low", "high",
+                 "partition", "queries")
+
+    def __init__(self, n: int, max_pieces: int) -> None:
+        self.n = n
+        self.max_pieces = max_pieces
+        self.previous = 0
+        self.pieces = 0
+        self.low = 0
+        self.high = n - 1
+        self.partition: list[Interval] = []
+        self.queries: list[FlatnessQuery] = []
+
+    def probe_stop(self) -> int:
+        """End of the interval the next flatness query tests (``mid + 1``;
+        the start is always the current ``previous``)."""
+        return self.low + (self.high - self.low) // 2 + 1
+
+    def advance(self, stop: int, result: FlatnessResult) -> bool:
+        """Consume the pending probe's verdict; ``True`` while active."""
+        self.queries.append(
+            FlatnessQuery(
+                interval=Interval(self.previous, stop),
+                accepted=result.accepted,
+                reason=result.reason,
+                statistic=result.statistic,
+                threshold=result.threshold,
+            )
+        )
+        if result.accepted:
+            self.low = stop  # == mid + 1
+        else:
+            self.high = stop - 2  # == mid - 1
+        if self.high >= self.low:
+            return True
+        # Inner binary search finished for this piece.
+        if self.low == self.previous:
+            # Defensive guard against a stuck search (see flat_partition).
+            return False
+        self.partition.append(Interval(self.previous, self.low))
+        self.previous = self.low
+        self.pieces += 1
+        if self.previous >= self.n or self.pieces >= self.max_pieces:
+            return False
+        self.low, self.high = self.previous, self.n - 1
+        return True
+
+
+def fleet_flat_partition(
+    n: int,
+    max_pieces: int,
+    oracle: FleetFlatnessOracle,
+    members: "list[int]",
+) -> list[tuple[list[Interval], list[FlatnessQuery]]]:
+    """Algorithm 2's partition search for many members, lockstep-batched.
+
+    Every member runs exactly the probe sequence :func:`flat_partition`
+    would run for it — memo-hit verdicts are consumed inline (members
+    fast-forward independently, so a member replaying a cached search
+    never stalls the batch), and each round gathers at most one fresh
+    probe per member into a single vectorised
+    :meth:`~repro.core.flatness.FleetFlatnessOracle.resolve` call.
+    Returns each member's ``(partition, query log)`` in input order,
+    byte-identical — partitions, logs, and per-member memo accounting —
+    to looping the sequential search.
+
+    The fast-forward loop reads each member's verdict memo directly
+    (hit ticks are accumulated locally and flushed once at the end):
+    at fleet scale the per-probe constant of this loop is the serving
+    path's floor, so it stays free of per-probe method dispatch.
+    """
+    if max_pieces < 1:
+        raise InvalidParameterError(f"max_pieces must be >= 1, got {max_pieces}")
+    states = [_FleetPartitionState(n, max_pieces) for _ in members]
+    memos = [oracle.member_memo(member) for member in members]
+    hits = [0] * len(members)
+    metric, epsilon, scale = oracle.suffix
+    active = list(range(len(members)))
+    while active:
+        parked: list[int] = []
+        stops: list[int] = []
+        for i in active:
+            # Fast-forward through memo hits with the state in locals —
+            # the same transitions as _FleetPartitionState.advance, kept
+            # free of per-probe attribute and method dispatch (this loop
+            # is the serving path's floor; see the docstring).
+            state = states[i]
+            memo_get = memos[i].get
+            queries_append = state.queries.append
+            previous, low, high = state.previous, state.low, state.high
+            pieces, partition = state.pieces, state.partition
+            local_hits = 0
+            while True:
+                stop = low + (high - low) // 2 + 1
+                cached = memo_get((previous, stop, metric, epsilon, scale))
+                if cached is None:
+                    state.previous, state.low, state.high = previous, low, high
+                    state.pieces = pieces
+                    parked.append(i)
+                    stops.append(stop)
+                    break
+                local_hits += 1
+                queries_append(
+                    FlatnessQuery(
+                        interval=Interval(previous, stop),
+                        accepted=cached.accepted,
+                        reason=cached.reason,
+                        statistic=cached.statistic,
+                        threshold=cached.threshold,
+                    )
+                )
+                if cached.accepted:
+                    low = stop
+                else:
+                    high = stop - 2
+                if high >= low:
+                    continue
+                if low == previous:
+                    state.previous, state.low, state.high = previous, low, high
+                    state.pieces = pieces
+                    break
+                partition.append(Interval(previous, low))
+                previous = low
+                pieces += 1
+                if previous >= n or pieces >= max_pieces:
+                    state.previous, state.low, state.high = previous, low, high
+                    state.pieces = pieces
+                    break
+                low, high = previous, n - 1
+            hits[i] += local_hits
+        if not parked:
+            break
+        results = oracle.resolve(
+            np.asarray([members[i] for i in parked], dtype=np.int64),
+            np.asarray([states[i].previous for i in parked], dtype=np.int64),
+            np.asarray(stops, dtype=np.int64),
+        )
+        active = [
+            i
+            for i, stop, result in zip(parked, stops, results)
+            if states[i].advance(stop, result)
+        ]
+    oracle.flush_hits(members, hits)
+    return [(state.partition, state.queries) for state in states]
+
+
+def fleet_test_on_sketches(
+    fleet: FleetTesterSketches,
+    n: int,
+    k: int,
+    epsilon: float,
+    norm: str,
+    params: TesterParams,
+    members: "list[int] | None" = None,
+) -> list[TestResult]:
+    """One tester invocation across a compiled fleet (no source access).
+
+    The fleet-axis counterpart of :func:`test_l2_on_sketch` /
+    :func:`test_l1_on_sketch`: one validated oracle, one lockstep
+    partition search, one :class:`TestResult` per member (in member
+    order), each byte-identical to the single-sketch call on that
+    member's compiled sketches.
+    """
+    _validate_k(n, k)
+    if norm not in ("l1", "l2"):
+        raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
+    if members is None:
+        members = list(range(fleet.fleet_size))
+    scale = 1.0 if norm == "l2" else l1_effective_scale(n, k, epsilon, params)
+    oracle = fleet.oracle(norm, epsilon, scale=scale)
+    outcomes = fleet_flat_partition(n, k, oracle, members)
+    return [
+        _result_from_partition(n, k, epsilon, norm, params, partition, queries)
+        for partition, queries in outcomes
+    ]
+
+
 def draw_tester_sets(
     source: object,
     params: TesterParams,
@@ -128,7 +321,7 @@ def validate_tester_engine(engine: str) -> None:
 
 
 def resolve_flatness_oracle(
-    multi: MultiSketch,
+    multi: MultiSketch | None,
     metric: str,
     epsilon: float,
     *,
@@ -140,26 +333,45 @@ def resolve_flatness_oracle(
 
     ``engine="compiled"`` uses ``compiled`` when given (the session cache
     path) or compiles ``multi`` on the spot; ``engine="full"`` answers
-    every probe from the raw sketch (``compiled`` is ignored).
+    every probe from the raw sketch (``compiled`` is ignored).  ``multi``
+    may be ``None`` when ``compiled`` is supplied with the compiled
+    engine — the fleet facade compiles its gather stacks without ever
+    building per-member :class:`MultiSketch` objects.
     """
     validate_tester_engine(engine)
     if engine == "full":
+        if multi is None:
+            raise InvalidParameterError(
+                "engine='full' needs the raw MultiSketch; only the compiled "
+                "engine can run from precompiled sketches alone"
+            )
         return flatness_oracle(multi, metric, epsilon, scale=scale)
     if compiled is None:
+        if multi is None:
+            raise InvalidParameterError(
+                "engine='compiled' needs either a MultiSketch to compile or "
+                "an already-compiled CompiledTesterSketches"
+            )
         compiled = compile_tester_sketches(multi)
     return compiled.oracle(metric, epsilon, scale=scale)
 
 
-def _run_on_sketch(
-    multi: MultiSketch,
+def _result_from_partition(
     n: int,
     k: int,
     epsilon: float,
     norm: str,
     params: TesterParams,
-    oracle_factory: Callable[[MultiSketch], FlatnessOracle],
+    partition: "list[Interval]",
+    queries: "list[FlatnessQuery]",
 ) -> TestResult:
-    partition, queries = flat_partition(n, k, oracle_factory(multi))
+    """Algorithm 2's acceptance rule, shared by every driver.
+
+    Acceptance is coverage: the search committed flat intervals up to
+    ``k`` pieces, so the domain is covered iff the last one reaches
+    ``n``.  Single-sketch and fleet runs both read their verdicts
+    through this one function (the byte-identity contract's anchor).
+    """
     covered = partition[-1].stop if partition else 0
     return TestResult(
         accepted=covered >= n,
@@ -173,13 +385,26 @@ def _run_on_sketch(
     )
 
 
+def _run_on_sketch(
+    multi: MultiSketch,
+    n: int,
+    k: int,
+    epsilon: float,
+    norm: str,
+    params: TesterParams,
+    oracle_factory: Callable[[MultiSketch], FlatnessOracle],
+) -> TestResult:
+    partition, queries = flat_partition(n, k, oracle_factory(multi))
+    return _result_from_partition(n, k, epsilon, norm, params, partition, queries)
+
+
 def _validate_k(n: int, k: int) -> None:
     if not 1 <= k <= n:
         raise InvalidParameterError(f"k must be in [1, n], got k={k}, n={n}")
 
 
 def test_l2_on_sketch(
-    multi: MultiSketch,
+    multi: MultiSketch | None,
     n: int,
     k: int,
     epsilon: float,
@@ -195,6 +420,8 @@ def test_l2_on_sketch(
     identical results, which is what lets sessions share one draw.
     ``engine``/``compiled`` select the flatness engine (see module
     docstring); the verdict and query log are engine-independent.
+    ``multi`` may be ``None`` on the compiled engine when ``compiled``
+    is supplied (the fleet path never builds per-member sketches).
     """
     _validate_k(n, k)
     return _run_on_sketch(
@@ -223,7 +450,7 @@ def l1_effective_scale(n: int, k: int, epsilon: float, params: TesterParams) -> 
 
 
 def test_l1_on_sketch(
-    multi: MultiSketch,
+    multi: MultiSketch | None,
     n: int,
     k: int,
     epsilon: float,
@@ -232,7 +459,11 @@ def test_l1_on_sketch(
     engine: str = "compiled",
     compiled: CompiledTesterSketches | None = None,
 ) -> TestResult:
-    """Theorem 4's tester on an already-built sketch (no source access)."""
+    """Theorem 4's tester on an already-built sketch (no source access).
+
+    As with :func:`test_l2_on_sketch`, ``multi`` may be ``None`` on the
+    compiled engine when ``compiled`` is supplied.
+    """
     _validate_k(n, k)
     effective_scale = l1_effective_scale(n, k, epsilon, params)
     return _run_on_sketch(

@@ -36,3 +36,13 @@ class InsufficientSamplesError(ReproError):
     """An estimator was asked for a quantity its sample set cannot
     support (e.g. a collision estimate from fewer than two samples
     when ``strict=True``)."""
+
+
+class EmptyStreamError(InvalidParameterError):
+    """A streaming maintainer was probed (``test()``, ``min_k()``, or
+    ``histogram``) before its reservoir absorbed any observation.
+
+    Subclasses :class:`InvalidParameterError` so existing callers that
+    catch the broader class keep working, while new code can handle the
+    probe-too-early case precisely instead of seeing a stale-pool
+    failure from deeper in the sampling stack."""

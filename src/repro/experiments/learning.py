@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.fleet import HistogramFleet
 from repro.api.session import HistogramSession
 from repro.baselines.voptimal import voptimal_cost, voptimal_histogram
 from repro.core.greedy import learn_histogram
@@ -127,21 +128,22 @@ def run_f1(config: ExperimentConfig) -> ExperimentResult:
             "Shape: excess decays with samples and sits far below 8 eps.",
         ],
     )
-    # One session per repeat: the budget sweep reuses one growing pool
-    # (common random numbers across scales), so the whole curve costs one
-    # draw of the largest budget per repeat.
-    sessions = [
-        HistogramSession(dist, n, rng=rng, method="fast")
-        for rng in spawn_rngs(config.seed + 2, repeats)
-    ]
+    # One fleet member per repeat: the budget sweep reuses one growing
+    # pool per member (common random numbers across scales), so the whole
+    # curve costs one draw of the largest budget per repeat — and the
+    # repeats compile and learn as a batch.
+    fleet = HistogramFleet(
+        [dist] * repeats, n, rngs=spawn_rngs(config.seed + 2, repeats), method="fast"
+    )
     for scale in scales:
         params = GreedyParams.from_paper(n, k, EPSILON, scale=scale)
-        errs = []
-        for session in sessions:
-            learned = session.learn(k, EPSILON, params=params)
-            errs.append(l2_distance_squared(dist, learned.histogram) - opt)
+        learned_batch = fleet.learn(k, EPSILON, params=params)
+        errs = [
+            l2_distance_squared(dist, learned.histogram) - opt
+            for learned in learned_batch
+        ]
         result.rows.append(
-            [scale, learned.samples_used, float(np.median(errs)), 8 * EPSILON]
+            [scale, learned_batch[-1].samples_used, float(np.median(errs)), 8 * EPSILON]
         )
     return result
 

@@ -1,14 +1,17 @@
 """Tester experiments: T3, T4 (Theorems 3/4) and F3 (the testing gap).
 
-Each trial runs through a fresh :class:`repro.api.HistogramSession`
-(the compiled tester engine): a fresh session's first tester call is
+Each instance's batch of independent trials runs as one
+:class:`repro.api.HistogramFleet` — every trial is a fleet member with
+its own generator, compiled in one pass and probed in lockstep.  A
+fleet run is byte-identical to looping fresh sessions over the same
+seeds (the fleet contract), and a fresh session's first tester call is
 seed-for-seed identical to the one-shot entry point, so the tables are
-unchanged while the trials ride the production path.
+unchanged while the trial batches ride the production path.
 """
 
 from __future__ import annotations
 
-from repro.api import HistogramSession
+from repro.api import HistogramFleet
 from repro.core.params import TesterParams
 from repro.distributions import families
 from repro.distributions.perturb import perturb_within_pieces
@@ -20,14 +23,16 @@ L2_SCALE = 0.05
 L1_PARAMS = TesterParams(num_sets=15, set_size=30_000)
 
 
-def _trial_l2(dist, n, k, eps, rng):
-    """One l2 tester trial via the session path."""
-    return HistogramSession(dist, n, rng=rng, scale=L2_SCALE).test_l2(k, eps)
+def _trials_l2(dist, n, k, eps, rngs):
+    """A batch of independent l2 tester trials as one fleet."""
+    fleet = HistogramFleet([dist] * len(rngs), n, rngs=rngs, scale=L2_SCALE)
+    return fleet.test_l2(k, eps)
 
 
-def _trial_l1(dist, n, k, eps, rng):
-    """One l1 tester trial via the session path."""
-    return HistogramSession(dist, n, rng=rng).test_l1(k, eps, params=L1_PARAMS)
+def _trials_l1(dist, n, k, eps, rngs):
+    """A batch of independent l1 tester trials as one fleet."""
+    fleet = HistogramFleet([dist] * len(rngs), n, rngs=rngs)
+    return fleet.test_l1(k, eps, params=L1_PARAMS)
 
 
 def run_t3(config: ExperimentConfig) -> ExperimentResult:
@@ -61,17 +66,15 @@ def run_t3(config: ExperimentConfig) -> ExperimentResult:
     rngs = spawn_rngs(config.seed + 4, (len(yes_cases) + len(no_cases)) * trials)
     idx = 0
     for name, dist in yes_cases:
-        flags = []
-        for _ in range(trials):
-            flags.append(_trial_l2(dist, n, k, eps, rngs[idx]).accepted)
-            idx += 1
+        verdicts = _trials_l2(dist, n, k, eps, rngs[idx : idx + trials])
+        idx += trials
+        flags = [v.accepted for v in verdicts]
         dd = distance_to_k_histogram(dist, k, norm="l2")
         result.rows.append([name, "YES", dd, accept_rate(flags), ">= 2/3"])
     for name, dist in no_cases:
-        flags = []
-        for _ in range(trials):
-            flags.append(_trial_l2(dist, n, k, eps, rngs[idx]).accepted)
-            idx += 1
+        verdicts = _trials_l2(dist, n, k, eps, rngs[idx : idx + trials])
+        idx += trials
+        flags = [v.accepted for v in verdicts]
         dd = distance_to_k_histogram(dist, k, norm="l2")
         result.rows.append([name, "NO", dd, accept_rate(flags), "<= 1/3"])
     return result
@@ -107,10 +110,9 @@ def run_t4(config: ExperimentConfig) -> ExperimentResult:
     idx = 0
     for side, cases, target in (("YES", yes_cases, ">= 2/3"), ("NO", no_cases, "<= 1/3")):
         for name, dist in cases:
-            flags = []
-            for _ in range(trials):
-                flags.append(_trial_l1(dist, n, k, eps, rngs[idx]).accepted)
-                idx += 1
+            verdicts = _trials_l1(dist, n, k, eps, rngs[idx : idx + trials])
+            idx += trials
+            flags = [v.accepted for v in verdicts]
             dd = distance_to_k_histogram(dist, k, norm="l1")
             result.rows.append([name, side, dd, accept_rate(flags), target])
     return result
@@ -141,9 +143,8 @@ def run_f3(config: ExperimentConfig) -> ExperimentResult:
     for amplitude in amplitudes:
         dist = perturb_within_pieces(base, amplitude)
         dd = distance_to_k_histogram(dist, k, norm="l1")
-        rejects = []
-        for _ in range(trials):
-            rejects.append(not _trial_l1(dist, n, k, eps, rngs[idx]).accepted)
-            idx += 1
+        verdicts = _trials_l1(dist, n, k, eps, rngs[idx : idx + trials])
+        idx += trials
+        rejects = [not v.accepted for v in verdicts]
         result.rows.append([amplitude, dd, accept_rate(rejects)])
     return result

@@ -9,10 +9,15 @@ k-histogram over a stream of values by combining
 * periodic rebuilds with the paper's fast greedy learner driven by the
   reservoir.
 
+:class:`FleetMaintainer` scales the same loop to many parallel streams
+over one shared domain, batching rebuilds and tester probes through
+:class:`repro.api.HistogramFleet` with lazy per-member invalidation.
+
 Substrate/extension status is documented in README.md ("Design notes").
 """
 
+from repro.streaming.fleet import FleetMaintainer
 from repro.streaming.maintainer import StreamingHistogramMaintainer
 from repro.streaming.reservoir import ReservoirSampler
 
-__all__ = ["ReservoirSampler", "StreamingHistogramMaintainer"]
+__all__ = ["FleetMaintainer", "ReservoirSampler", "StreamingHistogramMaintainer"]

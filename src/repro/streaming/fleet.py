@@ -1,0 +1,323 @@
+"""Maintain k-histogram summaries over a fleet of parallel streams.
+
+The single-stream :class:`~repro.streaming.StreamingHistogramMaintainer`
+pairs one reservoir with one facade session; a serving deployment
+watches many streams over one shared domain.  :class:`FleetMaintainer`
+keeps one reservoir per stream and drives them all through a
+:class:`~repro.api.HistogramFleet`, so rebuilds, tester probes, and
+min-k sweeps run fleet-batched (one compile pass, lockstep searches)
+instead of stream-by-stream.
+
+Invalidation is lazy and per member: absorbing items into one stream's
+reservoir marks only that member stale, and the next fleet operation
+re-draws and recompiles just the stale members — the quiet streams keep
+their pools, compiled slabs, and verdict memos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.fleet import HistogramFleet
+from repro.core.params import GreedyParams, TesterParams
+from repro.core.results import TestResult
+from repro.core.selection import SelectionResult
+from repro.errors import EmptyStreamError, InvalidParameterError
+from repro.histograms.tiling import TilingHistogram
+from repro.streaming.reservoir import ReservoirSampler
+from repro.utils.rng import spawn_rngs
+
+
+class FleetMaintainer:
+    """K-histogram summaries of ``F`` streams of values from ``[0, n)``.
+
+    Parameters
+    ----------
+    fleet_size:
+        Number of streams ``F``.
+    n / k / epsilon:
+        As in :class:`~repro.streaming.StreamingHistogramMaintainer`,
+        shared by every stream.
+    refresh_every:
+        Rebuild a member's histogram after this many new items on that
+        member (default ``4 * reservoir_capacity``).
+    reservoir_capacity:
+        Per-stream reservoir size (default 4096).
+    params:
+        Explicit learner sizes; defaults to a budget matched to the
+        reservoir, as in the single-stream maintainer.
+    engine / tester_engine:
+        Forwarded to the fleet (learner scoring / flatness engines).
+    rng:
+        Base seed; one independent child generator is spawned per
+        stream (reservoir and session draws share it, mirroring the
+        single-stream maintainer).
+    """
+
+    def __init__(
+        self,
+        fleet_size: int,
+        n: int,
+        k: int,
+        epsilon: float = 0.25,
+        *,
+        refresh_every: int | None = None,
+        reservoir_capacity: int = 4096,
+        params: GreedyParams | None = None,
+        engine: str = "incremental",
+        tester_engine: str = "compiled",
+        rng: "int | None | np.random.Generator" = None,
+    ) -> None:
+        if fleet_size < 1:
+            raise InvalidParameterError(
+                f"fleet_size must be >= 1, got {fleet_size}"
+            )
+        if n < 1 or k < 1:
+            raise InvalidParameterError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+        self._n = int(n)
+        self._k = int(k)
+        self._epsilon = float(epsilon)
+        rngs = spawn_rngs(rng, fleet_size)
+        self._reservoirs = [
+            ReservoirSampler(reservoir_capacity, member_rng) for member_rng in rngs
+        ]
+        self._refresh_every = (
+            int(refresh_every) if refresh_every is not None else 4 * reservoir_capacity
+        )
+        if self._refresh_every < 1:
+            raise InvalidParameterError("refresh_every must be >= 1")
+        if params is None:
+            budget = reservoir_capacity
+            params = GreedyParams(
+                weight_sample_size=max(budget // 2, 16),
+                collision_sets=5,
+                collision_set_size=max(budget // 4, 16),
+                rounds=max(self._k, 2),
+            )
+        self._params = params
+        self._fleet = HistogramFleet(
+            self._reservoirs,
+            self._n,
+            rngs=rngs,
+            method="fast",
+            engine=engine,
+            tester_engine=tester_engine,
+        )
+        self._items_seen = [0] * fleet_size
+        self._since_rebuild = [0] * fleet_size
+        self._stale = [False] * fleet_size
+        self._rebuilds = 0
+        self._histograms: list[TilingHistogram | None] = [None] * fleet_size
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+
+    @property
+    def fleet_size(self) -> int:
+        """Number of streams ``F``."""
+        return len(self._reservoirs)
+
+    @property
+    def items_seen(self) -> list[int]:
+        """Per-member total stream items observed."""
+        return list(self._items_seen)
+
+    @property
+    def rebuilds(self) -> int:
+        """How many greedy rebuilds have run (fleet-wide)."""
+        return self._rebuilds
+
+    @property
+    def fleet(self) -> HistogramFleet:
+        """The underlying fleet facade (pools, caches, diagnostics)."""
+        return self._fleet
+
+    def _check_member(self, member: int) -> None:
+        if not 0 <= member < self.fleet_size:
+            raise InvalidParameterError(
+                f"member must be in [0, {self.fleet_size}), got {member}"
+            )
+
+    def _probe_members(self, members: "list[int] | None") -> list[int]:
+        """Validate a probe's member subset and its streams' readiness.
+
+        Probing a stream before its first observation is an
+        :class:`EmptyStreamError`; pass ``members=`` to probe the ready
+        subset of a fleet whose other streams are still quiet.
+        """
+        if members is None:
+            members = list(range(self.fleet_size))
+        else:
+            members = [int(member) for member in members]
+            for member in members:
+                self._check_member(member)
+        empty = [f for f in members if self._reservoirs[f].size == 0]
+        if empty:
+            raise EmptyStreamError(
+                f"streams {empty} have no observations yet; update() them "
+                "first (or probe with members= excluding them)"
+            )
+        return members
+
+    # -------------------------------------------------------------- #
+    # stream intake
+    # -------------------------------------------------------------- #
+
+    def update(self, member: int, value: int) -> None:
+        """Observe one item on stream ``member``."""
+        self._check_member(member)
+        if not 0 <= value < self._n:
+            raise InvalidParameterError(
+                f"stream value {value} outside the domain [0, {self._n})"
+            )
+        self._reservoirs[member].update(int(value))
+        self._items_seen[member] += 1
+        self._since_rebuild[member] += 1
+        self._stale[member] = True
+
+    def update_many(self, member: int, values: np.ndarray) -> None:
+        """Observe a batch of items on stream ``member``."""
+        self._check_member(member)
+        values = np.asarray(values)
+        if values.size and (values.min() < 0 or values.max() >= self._n):
+            raise InvalidParameterError("stream values outside the domain")
+        self._reservoirs[member].update_many(values)
+        self._items_seen[member] += int(values.size)
+        self._since_rebuild[member] += int(values.size)
+        self._stale[member] = True
+
+    def _sync(self) -> None:
+        """Lazily drop stale members' pools before the next fleet op."""
+        for member, stale in enumerate(self._stale):
+            if stale:
+                self._fleet.invalidate(member)
+                self._stale[member] = False
+
+    # -------------------------------------------------------------- #
+    # summaries
+    # -------------------------------------------------------------- #
+
+    def histograms(self) -> list[TilingHistogram]:
+        """Every stream's current summary, rebuilding due members.
+
+        Members whose streams absorbed at least ``refresh_every`` items
+        since their last rebuild (or that never built) relearn in one
+        fleet-batched ``learn`` pass; fresh members keep their summary.
+        """
+        self._probe_members(None)
+        due = [
+            f
+            for f in range(self.fleet_size)
+            if self._histograms[f] is None
+            or self._since_rebuild[f] >= self._refresh_every
+        ]
+        if due:
+            self._sync()
+            if len(due) == self.fleet_size:
+                results = self._fleet.learn(
+                    self._k, self._epsilon, params=self._params
+                )
+            else:
+                # Only a few streams are due: relearn them individually
+                # rather than paying greedy rounds for the whole fleet.
+                results = {
+                    f: self._fleet.session(f).learn(
+                        self._k, self._epsilon, params=self._params
+                    )
+                    for f in due
+                }
+            for f in due:
+                self._histograms[f] = results[f].filled_histogram
+                self._since_rebuild[f] = 0
+                self._rebuilds += 1
+        return [h for h in self._histograms if h is not None]
+
+    def histogram(self, member: int) -> TilingHistogram:
+        """One stream's current summary (rebuilding lazily if needed)."""
+        self._check_member(member)
+        if self._reservoirs[member].size == 0:
+            raise EmptyStreamError(
+                f"stream {member} has no observations yet; update() it first"
+            )
+        if (
+            self._histograms[member] is None
+            or self._since_rebuild[member] >= self._refresh_every
+        ):
+            self._sync()
+            session = self._fleet.session(member)
+            result = session.learn(self._k, self._epsilon, params=self._params)
+            self._histograms[member] = result.filled_histogram
+            self._since_rebuild[member] = 0
+            self._rebuilds += 1
+        return self._histograms[member]
+
+    # -------------------------------------------------------------- #
+    # testing the streams
+    # -------------------------------------------------------------- #
+
+    def _tester_params(self, params: TesterParams | None) -> TesterParams:
+        if params is not None:
+            return params
+        # As in the single-stream maintainer: the reservoir cannot
+        # support more independent information than it holds.
+        return TesterParams(
+            num_sets=5, set_size=max(self._reservoirs[0].capacity, 16)
+        )
+
+    def test(
+        self,
+        k: int | None = None,
+        epsilon: float | None = None,
+        *,
+        norm: str = "l2",
+        params: TesterParams | None = None,
+        engine: str | None = None,
+        members: "list[int] | None" = None,
+    ) -> list[TestResult]:
+        """Test every stream for tiling k-histogram structure, batched.
+
+        Defaults to the maintainer's own ``(k, epsilon)``; one verdict
+        per stream, in the listed member order (``members`` restricts
+        the probe — e.g. to the ready subset while some streams are
+        still quiet).  Repeated probes between stream updates share each
+        member's draw, compiled slab, and verdict memo; only members
+        that absorbed new items re-draw.
+        """
+        members = self._probe_members(members)
+        if norm not in ("l1", "l2"):
+            raise InvalidParameterError(f"norm must be 'l1' or 'l2', got {norm!r}")
+        k = self._k if k is None else int(k)
+        epsilon = self._epsilon if epsilon is None else float(epsilon)
+        self._sync()
+        resolved = self._tester_params(params)
+        runner = self._fleet.test_l2 if norm == "l2" else self._fleet.test_l1
+        return runner(k, epsilon, params=resolved, engine=engine, members=members)
+
+    def min_k(
+        self,
+        epsilon: float | None = None,
+        *,
+        max_k: int | None = None,
+        norm: str = "l1",
+        params: TesterParams | None = None,
+        engine: str | None = None,
+        members: "list[int] | None" = None,
+    ) -> list[SelectionResult]:
+        """Smallest credible bucket count per stream, batched.
+
+        Shares each member's session budget (and verdict memo) with
+        :meth:`test`, like the single-stream maintainer's probes.
+        ``members`` restricts the sweep, as in :meth:`test`.
+        """
+        members = self._probe_members(members)
+        epsilon = self._epsilon if epsilon is None else float(epsilon)
+        self._sync()
+        return self._fleet.min_k(
+            epsilon,
+            max_k=max_k,
+            norm=norm,
+            params=self._tester_params(params),
+            engine=engine,
+            members=members,
+        )

@@ -22,7 +22,7 @@ from repro.api.session import HistogramSession
 from repro.core.params import GreedyParams, TesterParams
 from repro.core.results import TestResult
 from repro.core.selection import SelectionResult
-from repro.errors import InvalidParameterError
+from repro.errors import EmptyStreamError, InvalidParameterError
 from repro.histograms.tiling import TilingHistogram
 from repro.streaming.reservoir import ReservoirSampler
 from repro.utils.rng import as_rng
@@ -143,9 +143,7 @@ class StreamingHistogramMaintainer:
         if self._histogram is None or self._since_rebuild >= self._refresh_every:
             self._rebuild()
         if self._histogram is None:
-            raise InvalidParameterError(
-                "no stream items observed yet; update() first"
-            )
+            raise EmptyStreamError("no stream items observed yet; update() first")
         return self._histogram
 
     def update(self, value: int) -> None:
@@ -213,7 +211,7 @@ class StreamingHistogramMaintainer:
         draw, one compiled tester sketch, and its verdict memo.
         """
         if self._reservoir.size == 0:
-            raise InvalidParameterError("no stream items observed yet; update() first")
+            raise EmptyStreamError("no stream items observed yet; update() first")
         k = self._k if k is None else int(k)
         epsilon = self._epsilon if epsilon is None else float(epsilon)
         session = self._sync_session()
@@ -242,7 +240,7 @@ class StreamingHistogramMaintainer:
         default ``params`` keep the l1 budget practical).
         """
         if self._reservoir.size == 0:
-            raise InvalidParameterError("no stream items observed yet; update() first")
+            raise EmptyStreamError("no stream items observed yet; update() first")
         epsilon = self._epsilon if epsilon is None else float(epsilon)
         session = self._sync_session()
         return session.min_k(

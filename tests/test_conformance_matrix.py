@@ -1,0 +1,133 @@
+"""Scenario-matrix conformance: every engine/source/driver combination
+answers a pinned workload identically.
+
+One fixed operation script (learn + l2/l1 tester grid + min-k) runs at
+pinned seeds through every combination of
+
+* learner engine         — ``incremental`` / ``full``,
+* tester (flatness) engine — ``compiled`` / ``full``,
+* sample source          — :class:`ArraySource` / :class:`CountingSource`,
+* driver                 — a :class:`HistogramSession` loop /
+  one :class:`HistogramFleet`,
+
+and every cell of the matrix must produce byte-identical outcomes:
+learned histogram buffers, tester verdicts *with query logs*, and min-k
+selections.  This is the one test that catches an engine drifting from
+the others anywhere in the stack — a new engine or source adapter joins
+the matrix, not a bespoke suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api import ArraySource, CountingSource, HistogramFleet, HistogramSession
+from repro.core.params import GreedyParams, TesterParams
+from repro.distributions import families
+
+N = 96
+FLEET_SIZE = 3
+SEEDS = (0, 11)
+TEST_PARAMS = TesterParams(num_sets=5, set_size=2_000)
+LEARN_PARAMS = GreedyParams(
+    weight_sample_size=2_000, collision_sets=3, collision_set_size=1_000, rounds=2
+)
+TEST_GRID = [(2, 0.3), (4, 0.25)]
+
+ENGINES = ("incremental", "full")
+TESTER_ENGINES = ("compiled", "full")
+SOURCE_KINDS = ("array", "counting")
+DRIVERS = ("session", "fleet")
+
+MATRIX = list(itertools.product(ENGINES, TESTER_ENGINES, SOURCE_KINDS, DRIVERS))
+
+
+def _make_sources(kind: str):
+    base = families.random_tiling_histogram(N, 3, rng=5, min_piece=8)
+    arrays = [
+        base.sample(15_000, np.random.default_rng(200 + f)) for f in range(FLEET_SIZE)
+    ]
+    sources = [ArraySource(values, N) for values in arrays]
+    if kind == "counting":
+        sources = [CountingSource(source) for source in sources]
+    return sources
+
+
+def _freeze_learn(result):
+    return (
+        result.histogram.boundaries.tobytes(),
+        result.histogram.values.tobytes(),
+        tuple(result.rounds),
+    )
+
+
+def run_scenario(engine: str, tester_engine: str, source_kind: str, driver: str, seed: int):
+    """One pinned workload; returns a fully comparable outcome tuple."""
+    sources = _make_sources(source_kind)
+    seeds = [seed + f for f in range(FLEET_SIZE)]
+    kwargs = dict(
+        engine=engine,
+        tester_engine=tester_engine,
+        learn_budget=LEARN_PARAMS,
+        test_budget=TEST_PARAMS,
+    )
+    if driver == "fleet":
+        fleet = HistogramFleet(sources, N, rngs=seeds, **kwargs)
+        learned = fleet.learn(3, 0.3)
+        tested_l2 = fleet.test_many(TEST_GRID, norm="l2")
+        tested_l1 = fleet.test_l1(3, 0.3)
+        selected = fleet.min_k(0.3, max_k=6, norm="l2")
+    else:
+        sessions = [
+            HistogramSession(source, N, rng=member_seed, **kwargs)
+            for source, member_seed in zip(sources, seeds)
+        ]
+        learned = [session.learn(3, 0.3) for session in sessions]
+        tested_l2 = [session.test_many(TEST_GRID, norm="l2") for session in sessions]
+        tested_l1 = [session.test_l1(3, 0.3) for session in sessions]
+        selected = [session.min_k(0.3, max_k=6, norm="l2") for session in sessions]
+    return (
+        tuple(_freeze_learn(result) for result in learned),
+        tuple(tuple(member) for member in tested_l2),
+        tuple(tested_l1),
+        tuple(selected),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_outcomes():
+    """The matrix's reference cell, computed once per pinned seed."""
+    return {
+        seed: run_scenario("incremental", "compiled", "array", "session", seed)
+        for seed in SEEDS
+    }
+
+
+@pytest.mark.parametrize(
+    "engine,tester_engine,source_kind,driver",
+    MATRIX,
+    ids=["-".join(cell) for cell in MATRIX],
+)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_matrix_cell_matches_reference(
+    engine, tester_engine, source_kind, driver, seed, reference_outcomes
+):
+    """Pairwise identity via a shared reference cell (equality is
+    transitive, so all C(|matrix|, 2) pairs agree iff each cell agrees
+    with the reference)."""
+    outcome = run_scenario(engine, tester_engine, source_kind, driver, seed)
+    assert outcome == reference_outcomes[seed]
+
+
+def test_counting_sources_observe_identical_draws():
+    """The source axis is real: the counting wrapper sees every draw the
+    plain source serves, on both drivers."""
+    sources = _make_sources("counting")
+    fleet = HistogramFleet(
+        sources, N, rngs=list(range(FLEET_SIZE)), test_budget=TEST_PARAMS
+    )
+    fleet.test_l2(3, 0.3)
+    assert all(source.samples_drawn == TEST_PARAMS.total_samples for source in sources)

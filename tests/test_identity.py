@@ -100,3 +100,73 @@ class TestIdentityTester:
         result = identity_test(dist, dist, 0.25, rng=8)
         assert result.samples_used >= 16
         assert result.threshold == pytest.approx(0.25**2 / 2)
+
+
+class TestIdentityOnSketch:
+    """Direct coverage of the on-sketch half (previously only reached
+    through the draw-and-run composition)."""
+
+    def test_matches_one_shot_composition(self):
+        """test_identity_l2 == CollisionSketch + the on-sketch half."""
+        import math
+
+        from repro.core.identity import test_identity_l2_on_sketch
+        from repro.samples.collision import CollisionSketch
+        from repro.utils.rng import as_rng
+
+        dist, eps = families.zipf(256, 1.0), 0.2
+        size = max(16, math.ceil(identity_sample_size(256, eps)))
+        samples = dist.sample(size, as_rng(7))
+        via_sketch = test_identity_l2_on_sketch(
+            CollisionSketch(samples, 256), samples, dist, eps
+        )
+        assert via_sketch == identity_test(dist, dist, eps, rng=7)
+
+    def test_statistic_decomposition(self):
+        """statistic = ||p||^2_hat - 2<p,q>_hat + ||q||^2, exactly."""
+        from repro.core.identity import test_identity_l2_on_sketch
+        from repro.samples.collision import CollisionSketch
+        from repro.utils.prefix import pairs_count
+
+        rng = np.random.default_rng(3)
+        q = families.two_level(64, heavy_start=16, heavy_length=8)
+        samples = q.sample(4_000, rng)
+        sketch = CollisionSketch(samples, 64)
+        result = test_identity_l2_on_sketch(sketch, samples, q, 0.2)
+        expected = (
+            sketch.total_collisions / pairs_count(sketch.size)
+            - 2.0 * float(q.pmf[samples].mean())
+            + float(np.dot(q.pmf, q.pmf))
+        )
+        assert result.statistic == expected
+        assert result.threshold == 0.2**2 / 2.0
+        assert result.samples_used == 4_000
+
+    def test_rejects_mismatched_sketch(self):
+        from repro.core.identity import test_identity_l2_on_sketch
+        from repro.samples.collision import CollisionSketch
+
+        q = np.zeros(64)
+        q[-2:] = 0.5
+        samples = np.random.default_rng(4).choice(2, size=3_000)
+        result = test_identity_l2_on_sketch(CollisionSketch(samples, 64), samples, q, 0.3)
+        assert not result.accepted
+
+    def test_validation(self):
+        from repro.core.identity import test_identity_l2_on_sketch
+        from repro.errors import InsufficientSamplesError
+        from repro.samples.collision import CollisionSketch
+
+        samples = np.arange(16)
+        sketch = CollisionSketch(samples, 16)
+        reference = np.full(16, 1 / 16)
+        with pytest.raises(InvalidParameterError):
+            test_identity_l2_on_sketch(sketch, samples, reference, 0.0)
+        with pytest.raises(InvalidParameterError):
+            # reference domain mismatch
+            test_identity_l2_on_sketch(sketch, samples, np.full(8, 1 / 8), 0.2)
+        with pytest.raises(InsufficientSamplesError):
+            single = np.array([3])
+            test_identity_l2_on_sketch(
+                CollisionSketch(single, 16), single, reference, 0.2
+            )

@@ -127,3 +127,141 @@ class TestMaintainer:
             StreamingHistogramMaintainer(0, 2)
         with pytest.raises(InvalidParameterError):
             StreamingHistogramMaintainer(64, 2, refresh_every=0)
+
+
+class TestEmptyStreamProbes:
+    """Probing any maintainer before its first observation is a clear
+    :class:`EmptyStreamError` (a ReproError), never a stale-pool crash."""
+
+    def test_single_stream_probes_raise_empty_stream_error(self):
+        from repro.errors import EmptyStreamError, ReproError
+
+        maintainer = StreamingHistogramMaintainer(64, 2, rng=1)
+        for probe in (maintainer.test, maintainer.min_k, lambda: maintainer.histogram):
+            with pytest.raises(EmptyStreamError):
+                probe()
+            with pytest.raises(ReproError):  # the catch-all contract
+                probe()
+
+    def test_probe_after_forgetting_rebuild_raises_cleanly(self, rng):
+        """forget_after_rebuild empties the reservoir; the next probe must
+        fail with the same clear error, not a crash from stale pools."""
+        from repro.errors import EmptyStreamError
+
+        maintainer = StreamingHistogramMaintainer(
+            64, 2, rng=2, forget_after_rebuild=True,
+            refresh_every=16, reservoir_capacity=16,
+        )
+        maintainer.update_many(rng.integers(0, 64, size=32))
+        _ = maintainer.histogram  # rebuild resets the reservoir
+        with pytest.raises(EmptyStreamError):
+            maintainer.test()
+        with pytest.raises(EmptyStreamError):
+            maintainer.min_k()
+
+    def test_empty_stream_error_is_backward_compatible(self):
+        """Existing callers catching InvalidParameterError keep working."""
+        from repro.errors import EmptyStreamError
+
+        assert issubclass(EmptyStreamError, InvalidParameterError)
+
+
+class TestFleetMaintainer:
+    def _fed(self, fleet_size=3, **kwargs):
+        from repro.streaming import FleetMaintainer
+
+        dist = families.random_tiling_histogram(64, 3, rng=4, min_piece=8)
+        maintainer = FleetMaintainer(
+            fleet_size, 64, 3, refresh_every=1_000, reservoir_capacity=500,
+            rng=8, **kwargs,
+        )
+        feeder = np.random.default_rng(9)
+        for member in range(fleet_size):
+            maintainer.update_many(member, dist.sample(2_000, feeder))
+        return maintainer
+
+    def test_histograms_and_probes_cover_the_fleet(self):
+        maintainer = self._fed()
+        summaries = maintainer.histograms()
+        assert len(summaries) == 3
+        assert maintainer.rebuilds == 3
+        verdicts = maintainer.test()
+        assert len(verdicts) == 3
+        assert all(v.k == 3 and v.norm == "l2" for v in verdicts)
+        selections = maintainer.min_k(0.3, max_k=8, norm="l2")
+        assert len(selections) == 3
+
+    def test_lazy_per_member_invalidation(self):
+        maintainer = self._fed()
+        maintainer.test()
+        events = [e["test"] for e in maintainer.fleet.draw_events]
+        maintainer.update(1, 5)  # only member 1 absorbs an item
+        maintainer.test()
+        after = [e["test"] for e in maintainer.fleet.draw_events]
+        assert after[1] == events[1] + 1
+        assert after[0] == events[0] and after[2] == events[2]
+
+    def test_partial_rebuilds_only_due_members(self):
+        maintainer = self._fed()
+        maintainer.histograms()
+        rebuilds = maintainer.rebuilds
+        maintainer.update_many(2, np.random.default_rng(3).integers(0, 64, 1_000))
+        maintainer.histograms()  # only member 2 crossed refresh_every
+        assert maintainer.rebuilds == rebuilds + 1
+
+    def test_empty_members_raise_empty_stream_error(self):
+        from repro.errors import EmptyStreamError
+        from repro.streaming import FleetMaintainer
+
+        maintainer = FleetMaintainer(2, 64, 2, rng=1)
+        with pytest.raises(EmptyStreamError):
+            maintainer.test()
+        with pytest.raises(EmptyStreamError):
+            maintainer.min_k()
+        with pytest.raises(EmptyStreamError):
+            maintainer.histograms()
+        maintainer.update(0, 7)
+        with pytest.raises(EmptyStreamError):  # member 1 still empty
+            maintainer.test()
+        with pytest.raises(EmptyStreamError):
+            maintainer.histogram(1)
+        assert maintainer.histogram(0) is not None
+
+    def test_validation(self):
+        from repro.streaming import FleetMaintainer
+
+        with pytest.raises(InvalidParameterError):
+            FleetMaintainer(0, 64, 2)
+        with pytest.raises(InvalidParameterError):
+            FleetMaintainer(2, 64, 0)
+        with pytest.raises(InvalidParameterError):
+            FleetMaintainer(2, 64, 2, refresh_every=0)
+        maintainer = FleetMaintainer(2, 64, 2, rng=1)
+        with pytest.raises(InvalidParameterError):
+            maintainer.update(5, 1)
+        with pytest.raises(InvalidParameterError):
+            maintainer.update(0, 64)
+        with pytest.raises(InvalidParameterError):
+            maintainer.update_many(0, np.array([-1]))
+        maintainer.update(0, 1)
+        with pytest.raises(InvalidParameterError):
+            maintainer.test(norm="tv")
+
+    def test_probe_ready_subset_while_one_stream_quiet(self):
+        from repro.errors import EmptyStreamError
+        from repro.streaming import FleetMaintainer
+
+        maintainer = FleetMaintainer(
+            3, 64, 2, reservoir_capacity=200, refresh_every=400, rng=2
+        )
+        feeder = np.random.default_rng(5)
+        maintainer.update_many(0, feeder.integers(0, 64, 600))
+        maintainer.update_many(2, feeder.integers(0, 64, 600))
+        with pytest.raises(EmptyStreamError):
+            maintainer.test()  # member 1 still quiet
+        verdicts = maintainer.test(members=[0, 2])
+        assert len(verdicts) == 2
+        selections = maintainer.min_k(0.3, max_k=8, norm="l2", members=[2])
+        assert len(selections) == 1
+        with pytest.raises(EmptyStreamError):
+            maintainer.min_k(members=[1])

@@ -82,3 +82,62 @@ class TestUniformityTester:
         assert result.samples_used >= 16
         assert result.collisions >= 0
         assert result.epsilon == 0.25
+
+
+class TestUniformityOnSketch:
+    """Direct coverage of the on-sketch half (previously only reached
+    through the draw-and-run composition and the engine suites)."""
+
+    def test_matches_one_shot_composition(self):
+        """test_uniformity == CollisionSketch + test_uniformity_on_sketch."""
+        import math
+
+        from repro.core.uniformity import test_uniformity_on_sketch
+        from repro.samples.collision import CollisionSketch
+        from repro.utils.rng import as_rng
+
+        dist, n, eps = families.zipf(256, 1.0), 256, 0.25
+        samples = dist.sample(
+            max(16, math.ceil(uniformity_sample_size(n, eps))), as_rng(5)
+        )
+        via_sketch = test_uniformity_on_sketch(CollisionSketch(samples, n), eps)
+        one_shot = uniformity_test(dist, n, eps, rng=5)
+        assert via_sketch == one_shot
+
+    def test_pure_in_sketch(self):
+        """Repeated calls (and distinct epsilons) reuse one build."""
+        from repro.core.uniformity import test_uniformity_on_sketch
+        from repro.samples.collision import CollisionSketch
+
+        samples = families.uniform(128).sample(5_000, np.random.default_rng(1))
+        sketch = CollisionSketch(samples, 128)
+        first = test_uniformity_on_sketch(sketch, 0.25)
+        assert test_uniformity_on_sketch(sketch, 0.25) == first
+        assert first.accepted
+        assert first.samples_used == 5_000
+        assert first.collisions == sketch.total_collisions
+        looser = test_uniformity_on_sketch(sketch, 0.5)
+        assert looser.threshold > first.threshold
+        assert looser.statistic == first.statistic  # same sketch, same stat
+
+    def test_rejects_spiky_sketch(self):
+        from repro.core.uniformity import test_uniformity_on_sketch
+        from repro.samples.collision import CollisionSketch
+
+        samples = families.spikes(128, 4).sample(5_000, np.random.default_rng(2))
+        result = test_uniformity_on_sketch(CollisionSketch(samples, 128), 0.25)
+        assert not result.accepted
+        assert result.statistic > result.threshold
+
+    def test_validation(self):
+        from repro.core.uniformity import test_uniformity_on_sketch
+        from repro.errors import InsufficientSamplesError
+        from repro.samples.collision import CollisionSketch
+
+        sketch = CollisionSketch(np.arange(16), 16)
+        with pytest.raises(InvalidParameterError):
+            test_uniformity_on_sketch(sketch, 0.0)
+        with pytest.raises(InvalidParameterError):
+            test_uniformity_on_sketch(sketch, 1.0)
+        with pytest.raises(InsufficientSamplesError):
+            test_uniformity_on_sketch(CollisionSketch(np.array([3]), 16), 0.25)
