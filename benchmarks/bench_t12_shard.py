@@ -1,0 +1,164 @@
+"""T12 — the parallel shard engine: executor-driven fleets and sessions.
+
+Two claims ride the ``ShardedSketch`` + :class:`~repro.api.ParallelExecutor`
+engine (README.md, "Architecture"):
+
+* ``test_shard_serving_64`` / ``_loop`` — the headline pair: the
+  64-stream tester serving sweep of ``bench_t11_fleet`` driven through
+  a fleet with a ``workers=4`` executor (member compiles fanned over
+  shared-memory slabs) must beat the looped-session baseline by >= 2.5x
+  while returning byte-identical results.  The executor is module-level
+  — a serving plane keeps one worker pool across sweeps — but each
+  measured call still compiles its fleet cold, exactly like the t11
+  pair.
+* ``test_shard_learn_outofcore`` / ``_loop`` — an out-of-core-scale
+  learn (millions of pooled samples): the sharded compile sorts
+  bounded per-shard buffers and materialises only the ``(G, r)`` gather
+  slab whole, and must stay at parity with the monolithic sort while
+  returning the identical histogram.  (On a single-core CI box parity
+  is the bar; the shard path's win is the bounded working set.)
+
+Kernels come in ``<name>`` / ``<name>_loop`` pairs that feed
+``BENCH_shard.json`` via ``benchmarks/record_shard_bench.py``.
+"""
+
+from __future__ import annotations
+
+import atexit
+from functools import lru_cache
+
+import numpy as np
+
+from repro.api import (
+    ArraySource,
+    HistogramFleet,
+    HistogramSession,
+    ParallelExecutor,
+    ShardPlan,
+)
+from repro.core.params import GreedyParams, TesterParams
+from repro.distributions import families
+
+N = 4_096
+FLEET_SIZE = 64
+STREAM_LENGTH = 100_000
+TEST_PARAMS = TesterParams(num_sets=15, set_size=8_000)
+L2_GRID = [
+    (k, eps)
+    for k in (4, 8)
+    for eps in (0.2, 0.225, 0.25, 0.275, 0.3, 0.325, 0.35, 0.375)
+]
+L1_GRID = [(k, eps) for k in (4, 8) for eps in (0.2, 0.25, 0.3, 0.35)]
+_SEEDS = list(range(FLEET_SIZE))
+
+# One pool for the whole module: the serving plane keeps its workers
+# hot across sweeps (pool spin-up happens inside the warmup round).
+EXECUTOR = ParallelExecutor(4, plan=ShardPlan(4))
+atexit.register(EXECUTOR.close)
+
+OOC_N = 8_192
+OOC_STREAM = 200_000
+OOC_PARAMS = GreedyParams(
+    weight_sample_size=1_200_000,
+    collision_sets=7,
+    collision_set_size=700_000,
+    rounds=2,
+)
+# With ~1.2M weight samples over an 8k domain the T' endpoint set is the
+# whole domain; the cap keeps the candidate self-cost pass (identical in
+# both kernels — the pair isolates the prefix compile) at a CI-friendly
+# size.  Both kernels subsample from the same generator state, so the
+# pair stays byte-identical.
+OOC_MAX_CANDIDATES = 500_000
+
+
+@lru_cache(maxsize=None)
+def _sources() -> tuple[ArraySource, ...]:
+    """64 bootstrap streams: observed columns of a zipf base (cached;
+    both kernels of a pair serve the same streams)."""
+    base = families.zipf(N, 1.0)
+    return tuple(
+        ArraySource(base.sample(STREAM_LENGTH, np.random.default_rng(1_000 + f)), N)
+        for f in range(FLEET_SIZE)
+    )
+
+
+@lru_cache(maxsize=None)
+def _ooc_source() -> ArraySource:
+    """One wide column for the out-of-core learn pair."""
+    base = families.zipf(OOC_N, 1.0)
+    return ArraySource(base.sample(OOC_STREAM, np.random.default_rng(5_000)), OOC_N)
+
+
+def _serving_shard():
+    """The t11 tester sweep through one executor-driven fleet."""
+    fleet = HistogramFleet(
+        _sources(), N, rngs=_SEEDS, test_budget=TEST_PARAMS, executor=EXECUTOR
+    )
+    l2 = fleet.test_many(L2_GRID, norm="l2")
+    l1 = fleet.test_many(L1_GRID, norm="l1")
+    min_k_l2 = fleet.min_k(0.3, max_k=8, norm="l2")
+    min_k_l1 = fleet.min_k(0.3, max_k=8, norm="l1")
+    return l2, l1, min_k_l2, min_k_l1
+
+
+def _serving_loop():
+    """The same sweep, one fresh serial session per stream."""
+    l2, l1, min_k_l2, min_k_l1 = [], [], [], []
+    for source, seed in zip(_sources(), _SEEDS):
+        session = HistogramSession(source, N, rng=seed, test_budget=TEST_PARAMS)
+        l2.append(session.test_many(L2_GRID, norm="l2"))
+        l1.append(session.test_many(L1_GRID, norm="l1"))
+        min_k_l2.append(session.min_k(0.3, max_k=8, norm="l2"))
+        min_k_l1.append(session.min_k(0.3, max_k=8, norm="l1"))
+    return l2, l1, min_k_l2, min_k_l1
+
+
+def _learn_shard():
+    """One big learn with the sharded compile (4 shards, 4 workers)."""
+    session = HistogramSession(
+        _ooc_source(), OOC_N, rng=0, learn_budget=OOC_PARAMS, executor=EXECUTOR
+    )
+    return session.learn(8, 0.25, max_candidates=OOC_MAX_CANDIDATES)
+
+
+def _learn_loop():
+    """The same learn through the monolithic single-buffer compile."""
+    session = HistogramSession(_ooc_source(), OOC_N, rng=0, learn_budget=OOC_PARAMS)
+    return session.learn(8, 0.25, max_candidates=OOC_MAX_CANDIDATES)
+
+
+def test_shard_serving_64(benchmark):
+    """64-stream sweep, workers=4 executor (bar: >= 2.5x over the loop)."""
+    results = benchmark.pedantic(
+        _serving_shard, rounds=4, iterations=1, warmup_rounds=1
+    )
+    assert results == _serving_loop()  # byte-identical verdicts and logs
+
+
+def test_shard_serving_64_loop(benchmark):
+    """The looped-session baseline for the 64-stream sweep."""
+    results = benchmark.pedantic(
+        _serving_loop, rounds=4, iterations=1, warmup_rounds=1
+    )
+    assert len(results[0]) == FLEET_SIZE
+
+
+def test_shard_learn_outofcore(benchmark):
+    """Out-of-core-scale learn through the sharded compile."""
+    result = benchmark.pedantic(
+        _learn_shard, rounds=2, iterations=1, warmup_rounds=1
+    )
+    reference = _learn_loop()
+    assert np.array_equal(result.histogram.values, reference.histogram.values)
+    assert np.array_equal(
+        result.histogram.boundaries, reference.histogram.boundaries
+    )
+
+
+def test_shard_learn_outofcore_loop(benchmark):
+    """The monolithic-compile baseline for the out-of-core learn."""
+    result = benchmark.pedantic(
+        _learn_loop, rounds=2, iterations=1, warmup_rounds=1
+    )
+    assert result.histogram.num_pieces >= 1

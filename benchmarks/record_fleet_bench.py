@@ -20,90 +20,33 @@
 Speedups are computed from each kernel's *minimum* round time: the pairs
 run interleaved on shared CI machines, and the minimum is the standard
 noise-robust location estimate for timing under contention (the mean is
-also recorded).  The summary keeps one entry per kernel pair, small
-enough to live in the repository and be diffed by future PRs.
+also recorded).  The reduction itself is the shared paired recorder
+(``benchmarks/_recorder.py``), parameterised by this suite's kernel
+prefix and key names.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
 
-LOOP_SUFFIX = "_loop"
+from _recorder import PairedBenchSpec, paired_main
 
-
-def _stats(pytest_benchmark_json: str) -> dict[str, dict[str, float]]:
-    with open(pytest_benchmark_json) as handle:
-        data = json.load(handle)
-    return {
-        bench["name"]: {
-            "mean_s": bench["stats"]["mean"],
-            "min_s": bench["stats"]["min"],
-            "rounds": bench["stats"]["rounds"],
-        }
-        for bench in data["benchmarks"]
-    }
-
-
-def _summary(
-    stats: dict[str, dict[str, float]],
-    baseline: dict[str, dict] | None = None,
-) -> dict:
-    benchmarks = {}
-    for name, fleet in stats.items():
-        if name.endswith(LOOP_SUFFIX) or not name.startswith("test_fleet"):
-            continue
-        entry = {
-            "fleet_s": round(fleet["min_s"], 5),
-            "fleet_mean_s": round(fleet["mean_s"], 5),
-        }
-        loop = stats.get(name + LOOP_SUFFIX)
-        if loop is not None:
-            entry["loop_s"] = round(loop["min_s"], 5)
-            entry["loop_mean_s"] = round(loop["mean_s"], 5)
-            if fleet["min_s"] > 0:
-                entry["speedup"] = round(loop["min_s"] / fleet["min_s"], 2)
-        if baseline is not None and name in baseline:
-            recorded = baseline[name].get("fleet_s")
-            if recorded and fleet["min_s"] > 0:
-                entry["baseline_fleet_s"] = recorded
-                entry["vs_baseline"] = round(recorded / fleet["min_s"], 2)
-        benchmarks[name] = entry
-    return {
-        "suite": "bench_t11_fleet kernel pairs (each workload runs through "
-        "HistogramFleet and as a looped-session baseline in the same run; "
-        "speedup = loop_s / fleet_s over per-kernel minimum round times, "
-        "cold compile included)",
-        "python": platform.python_version(),
-        "benchmarks": benchmarks,
-    }
+SPEC = PairedBenchSpec(
+    kernel_prefix="test_fleet",
+    pair_suffix="_loop",
+    primary="fleet",
+    pair="loop",
+    stat="min_s",
+    extra="mean",
+    suite="bench_t11_fleet kernel pairs (each workload runs through "
+    "HistogramFleet and as a looped-session baseline in the same run; "
+    "speedup = loop_s / fleet_s over per-kernel minimum round times, "
+    "cold compile included)",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--run", required=True, help="pytest-benchmark json of a run")
-    parser.add_argument("--baseline", help="checked-in BENCH_fleet.json to diff against")
-    parser.add_argument("--out", default="BENCH_fleet.json", help="output path")
-    args = parser.parse_args(argv)
-
-    baseline = None
-    if args.baseline:
-        with open(args.baseline) as handle:
-            baseline = json.load(handle)["benchmarks"]
-    summary = _summary(_stats(args.run), baseline)
-
-    with open(args.out, "w") as handle:
-        json.dump(summary, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    for name, entry in sorted(summary["benchmarks"].items()):
-        ratio = f' ({entry["speedup"]}x)' if "speedup" in entry else ""
-        drift = (
-            f' [vs baseline {entry["vs_baseline"]}x]' if "vs_baseline" in entry else ""
-        )
-        print(f'{name}: {entry["fleet_s"]}s{ratio}{drift}')
-    return 0
+    return paired_main(SPEC, __doc__, "BENCH_fleet.json", argv)
 
 
 if __name__ == "__main__":

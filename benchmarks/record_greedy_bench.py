@@ -15,7 +15,10 @@ Two modes, both consuming ``pytest-benchmark --benchmark-json`` output:
 
 The summary keeps one entry per benchmark (mean/stddev seconds and the
 speedup ratio), small enough to live in the repository and be diffed by
-future PRs.
+future PRs.  Unlike the paired suites, the before/after sides here come
+from *separate* runs (two engines cannot share one process), so this
+script keeps its own reducer on top of the shared loading and output
+helpers in ``benchmarks/_recorder.py``.
 """
 
 from __future__ import annotations
@@ -25,18 +28,7 @@ import json
 import platform
 import sys
 
-
-def _means(pytest_benchmark_json: str) -> dict[str, dict[str, float]]:
-    with open(pytest_benchmark_json) as handle:
-        data = json.load(handle)
-    return {
-        bench["name"]: {
-            "mean_s": bench["stats"]["mean"],
-            "stddev_s": bench["stats"]["stddev"],
-            "rounds": bench["stats"]["rounds"],
-        }
-        for bench in data["benchmarks"]
-    }
+from _recorder import load_stats, write_summary
 
 
 def _summary(
@@ -72,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.before and args.after:
-        summary = _summary(_means(args.before), _means(args.after))
+        summary = _summary(load_stats(args.before), load_stats(args.after))
     elif args.run and args.baseline:
         with open(args.baseline) as handle:
             recorded = json.load(handle)["benchmarks"]
@@ -81,13 +73,11 @@ def main(argv: list[str] | None = None) -> int:
             for name, entry in recorded.items()
             if "after_s" in entry
         }
-        summary = _summary(baseline, _means(args.run))
+        summary = _summary(baseline, load_stats(args.run))
     else:
         parser.error("need either --before/--after or --run/--baseline")
 
-    with open(args.out, "w") as handle:
-        json.dump(summary, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_summary(summary, args.out)
     for name, entry in sorted(summary["benchmarks"].items()):
         ratio = f' ({entry["speedup"]}x)' if "speedup" in entry else ""
         print(f'{name}: {entry["after_s"]}s{ratio}')

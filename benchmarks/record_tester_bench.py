@@ -20,87 +20,32 @@ json carries its own before/after pairing.  Two modes:
 
 The summary keeps one entry per kernel pair (full/compiled mean seconds
 and the speedup ratio), small enough to live in the repository and be
-diffed by future PRs.
+diffed by future PRs.  The reduction itself is the shared paired
+recorder (``benchmarks/_recorder.py``), parameterised by this suite's
+kernel prefix and key names.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
 
-FULL_SUFFIX = "_full"
+from _recorder import PairedBenchSpec, paired_main
 
-
-def _means(pytest_benchmark_json: str) -> dict[str, dict[str, float]]:
-    with open(pytest_benchmark_json) as handle:
-        data = json.load(handle)
-    return {
-        bench["name"]: {
-            "mean_s": bench["stats"]["mean"],
-            "stddev_s": bench["stats"]["stddev"],
-            "rounds": bench["stats"]["rounds"],
-        }
-        for bench in data["benchmarks"]
-    }
-
-
-def _summary(
-    means: dict[str, dict[str, float]],
-    baseline: dict[str, dict] | None = None,
-) -> dict:
-    benchmarks = {}
-    for name, stats in means.items():
-        if name.endswith(FULL_SUFFIX) or not name.startswith("test_tester"):
-            continue
-        entry = {
-            "compiled_s": round(stats["mean_s"], 5),
-            "compiled_stddev_s": round(stats["stddev_s"], 5),
-        }
-        full = means.get(name + FULL_SUFFIX)
-        if full is not None:
-            entry["full_s"] = round(full["mean_s"], 5)
-            if stats["mean_s"] > 0:
-                entry["speedup"] = round(full["mean_s"] / stats["mean_s"], 2)
-        if baseline is not None and name in baseline:
-            recorded = baseline[name].get("compiled_s")
-            if recorded and stats["mean_s"] > 0:
-                entry["baseline_compiled_s"] = recorded
-                entry["vs_baseline"] = round(recorded / stats["mean_s"], 2)
-        benchmarks[name] = entry
-    return {
-        "suite": "bench_t10_tester_compiled kernel pairs (each workload runs "
-        "on engine='compiled' and engine='full' in the same session; "
-        "speedup = full_s / compiled_s, cold compile included)",
-        "python": platform.python_version(),
-        "benchmarks": benchmarks,
-    }
+SPEC = PairedBenchSpec(
+    kernel_prefix="test_tester",
+    pair_suffix="_full",
+    primary="compiled",
+    pair="full",
+    stat="mean_s",
+    extra="stddev",
+    suite="bench_t10_tester_compiled kernel pairs (each workload runs "
+    "on engine='compiled' and engine='full' in the same session; "
+    "speedup = full_s / compiled_s, cold compile included)",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--run", required=True, help="pytest-benchmark json of a run")
-    parser.add_argument("--baseline", help="checked-in BENCH_tester.json to diff against")
-    parser.add_argument("--out", default="BENCH_tester.json", help="output path")
-    args = parser.parse_args(argv)
-
-    baseline = None
-    if args.baseline:
-        with open(args.baseline) as handle:
-            baseline = json.load(handle)["benchmarks"]
-    summary = _summary(_means(args.run), baseline)
-
-    with open(args.out, "w") as handle:
-        json.dump(summary, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    for name, entry in sorted(summary["benchmarks"].items()):
-        ratio = f' ({entry["speedup"]}x)' if "speedup" in entry else ""
-        drift = (
-            f' [vs baseline {entry["vs_baseline"]}x]' if "vs_baseline" in entry else ""
-        )
-        print(f'{name}: {entry["compiled_s"]}s{ratio}{drift}')
-    return 0
+    return paired_main(SPEC, __doc__, "BENCH_tester.json", argv)
 
 
 if __name__ == "__main__":

@@ -13,7 +13,12 @@ the *same* sample budget and compare their selectivity errors:
 * the v-optimal DP plug-in (needs an O(n^2 k) pass over the empirical
   distribution),
 * classical equi-depth and equi-width histograms.
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` to run with tiny parameters (the CI
+examples-smoke job does; numbers are then illustrative only).
 """
+
+import os
 
 from repro import (
     EmpiricalDistribution,
@@ -27,8 +32,13 @@ from repro.datasets import salaries_column
 from repro.queries import SelectivityEstimator, evaluate_estimator, mixed_workload
 
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+
+
 def main() -> None:
-    rows, k, sample_budget = 50_000, 16, 12_000
+    rows, k, sample_budget = (
+        (8_000, 8, 3_000) if SMOKE else (50_000, 16, 12_000)
+    )
 
     values, n = salaries_column(rows, rng=1)
     column = EmpiricalDistribution(values, n)

@@ -15,18 +15,27 @@ sort-free and stacked, and the testers' binary searches run in lockstep
 across tenants.  Results are byte-identical to looping a
 :class:`repro.api.HistogramSession` per stream (``tests/test_fleet.py``
 holds that contract), just several times faster — ``BENCH_fleet.json``
-tracks the measured speedup.
+tracks the measured speedup.  A :class:`repro.api.ParallelExecutor`
+rides along: member compiles fan across a 4-worker pool over
+shared-memory slabs (``BENCH_shard.json``), still byte-identical.
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` to run with tiny parameters (the CI
+examples-smoke job does; numbers are then illustrative only).
 """
+
+import os
 
 import numpy as np
 
-from repro.api import ArraySource, HistogramFleet
+from repro.api import ArraySource, HistogramFleet, ParallelExecutor
 from repro.core.params import GreedyParams, TesterParams
 from repro.distributions import families
 from repro.utils.timing import Timer
 
 N = 2_048
 FLEET_SIZE = 64
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+STREAM_LENGTH = 5_000 if SMOKE else 50_000
 
 
 def synthetic_streams() -> list[ArraySource]:
@@ -43,23 +52,25 @@ def synthetic_streams() -> list[ArraySource]:
             base = families.random_tiling_histogram(
                 N, int(rng.integers(2, 7)), rng=member + 1, min_piece=32
             )
-        sources.append(ArraySource(base.sample(50_000, rng), N))
+        sources.append(ArraySource(base.sample(STREAM_LENGTH, rng), N))
     return sources
 
 
 def main() -> None:
+    executor = ParallelExecutor(workers=4)  # one pool for the serving plane
     fleet = HistogramFleet(
         synthetic_streams(),
         N,
         rng=42,  # spawns one independent generator per member
-        test_budget=TesterParams(num_sets=15, set_size=8_000),
+        test_budget=TesterParams(num_sets=15, set_size=1_500 if SMOKE else 8_000),
         learn_budget=GreedyParams(
-            weight_sample_size=20_000,
+            weight_sample_size=3_000 if SMOKE else 20_000,
             collision_sets=5,
-            collision_set_size=10_000,
+            collision_set_size=1_500 if SMOKE else 10_000,
             rounds=1,  # re-derived per (k, epsilon)
         ),
         max_candidates=20_000,
+        executor=executor,
     )
 
     with Timer() as t_test:
@@ -93,6 +104,7 @@ def main() -> None:
         "pathological ones (indices 5, 21, 37, 53 are spiky; the zipf "
         "tenants need many more buckets than the smooth majority)."
     )
+    executor.close()
 
 
 if __name__ == "__main__":

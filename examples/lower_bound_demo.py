@@ -8,9 +8,13 @@ Builds the paper's YES/NO instance pair (an exact k-histogram versus a
 version with one heavy interval scrambled to half support) and shows that
 a collision-counting distinguisher is blind below ~sqrt(kn) samples and
 sharp above — the Omega(sqrt(kn)) transition.
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` to run with tiny parameters (the CI
+examples-smoke job does; numbers are then illustrative only).
 """
 
 import math
+import os
 
 from repro.core.lower_bound import (
     collision_distinguisher,
@@ -22,8 +26,11 @@ from repro.distributions import distance_to_k_histogram
 from repro.utils.rng import spawn_rngs
 
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+
+
 def main() -> None:
-    n, k, trials = 2048, 8, 30
+    n, k, trials = 2048, 8, (6 if SMOKE else 30)
     yes = yes_instance(n, k)
     print(f"YES instance: {k} alternating intervals over [0, {n}), "
           f"{len(heavy_intervals(n, k))} of them heavy")

@@ -14,7 +14,12 @@ that ``k`` and verify the fit.
 The whole pipeline runs through one :class:`repro.HistogramSession`: the
 per-k probes, the min-k search, and the final learn all share a single
 sample budget (the probes after the first draw nothing at all).
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` to run with tiny parameters (the CI
+examples-smoke job does; numbers are then illustrative only).
 """
+
+import os
 
 from repro import (
     EmpiricalDistribution,
@@ -26,14 +31,18 @@ from repro.core.params import GreedyParams, TesterParams
 from repro.datasets import sensor_readings_column
 
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+
+
 def main() -> None:
-    values, n = sensor_readings_column(200_000, rng=4)
+    rows = 20_000 if SMOKE else 200_000
+    values, n = sensor_readings_column(rows, rng=4)
     column = EmpiricalDistribution(values, n)
     epsilon = 0.25
-    params = TesterParams(num_sets=15, set_size=30_000)
+    params = TesterParams(num_sets=15, set_size=3_000 if SMOKE else 30_000)
     session = HistogramSession(column, n, rng=10, test_budget=params)
 
-    print(f"sensor column: 200000 rows over [0, {n}); searching for min k...\n")
+    print(f"sensor column: {rows} rows over [0, {n}); searching for min k...\n")
     chosen_k = None
     for verdict in session.test_many([(k, epsilon) for k in range(1, 9)], norm="l1"):
         marker = "ACCEPT" if verdict.accepted else "reject"

@@ -14,7 +14,12 @@ sketches):
    the full distribution;
 2. *testing* — decide "is this distribution a k-histogram?" from samples
    (Theorems 3/4).
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` to run with tiny parameters (the CI
+examples-smoke job does; numbers are then illustrative only).
 """
+
+import os
 
 from repro import (
     HistogramSession,
@@ -26,8 +31,11 @@ from repro.core.params import TesterParams
 from repro.distributions import families
 
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+
+
 def main() -> None:
-    n, k, epsilon = 512, 4, 0.25
+    n, k, epsilon = (128 if SMOKE else 512), 4, 0.25
 
     # A ground-truth distribution that IS a 4-histogram, plus one that is not.
     histogram_dist = families.random_tiling_histogram(n, k, rng=7, min_piece=16)
@@ -45,7 +53,7 @@ def main() -> None:
     print(f"(guarantee: squared error within 8*eps = {8 * epsilon} of optimal)")
 
     print("\n=== Testing (Theorem 4) ===")
-    params = TesterParams(num_sets=15, set_size=30_000)
+    params = TesterParams(num_sets=15, set_size=3_000 if SMOKE else 30_000)
     sessions = (
         ("4-histogram", histogram_dist, session),  # reuses the learning session
         ("sawtooth", sawtooth_dist, HistogramSession(sawtooth_dist, n, rng=1)),

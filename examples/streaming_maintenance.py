@@ -10,13 +10,22 @@ stream of product ids whose popularity shifts mid-stream (a viral
 product); a reservoir sample plus periodic greedy rebuilds keeps a
 16-piece summary current, and we track its range-query accuracy through
 the drift.
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` to run with tiny parameters (the CI
+examples-smoke job does; numbers are then illustrative only).
 """
+
+import os
 
 import numpy as np
 
 from repro import Interval, l1_distance
 from repro.distributions import families
 from repro.streaming import StreamingHistogramMaintainer
+
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+BATCH = 2_000 if SMOKE else 5_000
 
 
 def main() -> None:
@@ -28,7 +37,7 @@ def main() -> None:
     # forget_after_rebuild gives sliding-window semantics: the summary
     # reflects the last ~refresh_every items, so drift is tracked quickly.
     maintainer = StreamingHistogramMaintainer(
-        n, k=16, refresh_every=5_000, reservoir_capacity=5_000,
+        n, k=16, refresh_every=BATCH, reservoir_capacity=BATCH,
         forget_after_rebuild=True, rng=0,
     )
     rng = np.random.default_rng(1)
@@ -37,10 +46,10 @@ def main() -> None:
     print(f"{'items seen':>10s} {'regime':>8s} {'rebuilds':>8s} "
           f"{'l1 to regime':>13s} {'viral-band mass':>16s}")
     for phase, (regime, label, batches) in enumerate(
-        ((before, "before", 6), (viral, "after", 10))
+        ((before, "before", 3 if SMOKE else 6), (viral, "after", 4 if SMOKE else 10))
     ):
         for _ in range(batches):
-            maintainer.update_many(regime.sample(5_000, rng))
+            maintainer.update_many(regime.sample(BATCH, rng))
             summary = maintainer.histogram
             print(
                 f"{maintainer.items_seen:10d} {label:>8s} {maintainer.rebuilds:8d} "

@@ -32,11 +32,13 @@ with the same seeds.  ``BENCH_fleet.json`` tracks the measured speedup.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.api.session import HistogramSession
+from repro.api.shard import _compile_member_rows
 from repro.core.flatness import FleetTesterSketches
 from repro.core.greedy import compile_greedy_sketches
 from repro.core.params import GreedyParams, TesterParams
@@ -70,6 +72,15 @@ class HistogramFleet:
     test_budget / max_candidates:
         As in :class:`~repro.api.HistogramSession`, applied to every
         member.
+    executor:
+        Optional :class:`~repro.api.ParallelExecutor`, shared by every
+        member session.  With a parallel executor the fleet's tester
+        stacks live in shared-memory slabs: member compiles fan across
+        the pool (each worker writes its member's ``(n + 1, r)`` layout
+        in place) and large batches of flatness misses resolve across
+        workers.  Purely an evaluation strategy — byte-identical
+        results for any ``(shards, workers)``; the caller owns (and
+        closes) the executor.
 
     Operations return one result per member, in member order.  Passing
     ``engine="full"`` / ``tester_engine="full"`` (at construction or per
@@ -92,6 +103,7 @@ class HistogramFleet:
         learn_budget: GreedyParams | None = None,
         test_budget: TesterParams | None = None,
         max_candidates: int | None = None,
+        executor: "object | None" = None,
     ) -> None:
         sources = list(sources)
         if not sources:
@@ -111,6 +123,7 @@ class HistogramFleet:
         self._engine = engine
         self._tester_engine = tester_engine
         self._max_candidates = max_candidates
+        self._executor = executor
         self._sessions = [
             HistogramSession(
                 source,
@@ -123,6 +136,7 @@ class HistogramFleet:
                 learn_budget=learn_budget,
                 test_budget=test_budget,
                 max_candidates=max_candidates,
+                executor=executor,
             )
             for source, member_rng in zip(sources, rngs)
         ]
@@ -227,6 +241,7 @@ class HistogramFleet:
                 max_candidates=max_candidates,
                 rng=session._rng,
                 prefixes=prefixes,
+                executor=self._executor,
             )
             bundle.adopt_compiled_sketches(
                 resolved, method=method, max_candidates=max_candidates,
@@ -316,14 +331,46 @@ class HistogramFleet:
         ``session.invalidate()`` behind the fleet's back) recompiles
         that one slab from the member's pool and replants it.  Only the
         listed members are drawn for and compiled.
+
+        With a parallel executor the stacks are shared-memory slabs and
+        the stale members' compiles fan across the pool: pool draws
+        still happen here (in member order, so the fleet stays
+        replayable), the raw sets are staged into one reusable scratch
+        slab, and each worker writes its member's ``(n + 1, r)`` gather
+        layout straight into the stacks — bit-identical to the inline
+        :meth:`~repro.core.flatness.FleetTesterSketches.compile_member`
+        path.
         """
         key = (resolved.num_sets, resolved.set_size)
+        executor = self._executor
         fleet_sketches = self._tester_fleet_cache.get(key)
         if fleet_sketches is None:
+            stacks = None
+            slabs = None
+            if executor is not None and executor.parallel:
+                shape = (self.size, self._n + 1, resolved.num_sets)
+                count_stack, count_slab = executor.shared_zeros(shape)
+                pair_stack, pair_slab = executor.shared_zeros(shape)
+                stacks = (count_stack, pair_stack)
+                slabs = (count_slab, pair_slab)
             fleet_sketches = FleetTesterSketches(
-                self._n, resolved.num_sets, resolved.set_size, self.size
+                self._n,
+                resolved.num_sets,
+                resolved.set_size,
+                self.size,
+                stacks=stacks,
+                slabs=slabs,
+                executor=executor,
             )
+            if slabs is not None:
+                # The executor outlives this fleet (one pool, many
+                # fleets); hand the stack segments back when the
+                # sketches are collected so /dev/shm tracks live fleets.
+                weakref.finalize(
+                    fleet_sketches, executor.release, count_slab, pair_slab
+                )
             self._tester_fleet_cache[key] = fleet_sketches
+        pending: list[tuple[int, list]] = []
         for index in members:
             session = self._sessions[index]
             bundle = session._bundle
@@ -337,10 +384,53 @@ class HistogramFleet:
                 # and its memo — and mirror the layout into the slab.
                 fleet_sketches.adopt_member(index, cached)
                 continue
-            member = fleet_sketches.compile_member(
-                index, bundle.tester_sets(resolved)
+            pending.append((index, bundle.tester_sets(resolved)))
+        if not pending:
+            return fleet_sketches
+        if (
+            executor is not None
+            and executor.parallel
+            and fleet_sketches.slabs is not None
+            and len(pending) > 1
+        ):
+            num_sets, set_size = resolved.num_sets, resolved.set_size
+            staged, sets_slab = executor.scratch(
+                "fleet-compile-input", (len(pending), num_sets, set_size)
             )
-            bundle.adopt_compiled_tester(resolved, member)
+            for row, (_, sets) in enumerate(pending):
+                for column, values in enumerate(sets):
+                    staged[row, column] = values
+            dense = self._n + 1 <= 4 * num_sets * set_size
+            count_slab, pair_slab = fleet_sketches.slabs
+            for index, _ in pending:
+                fleet_sketches._detach_member(index)
+            executor.map(
+                _compile_member_rows,
+                [
+                    (
+                        sets_slab,
+                        row,
+                        index,
+                        self._n,
+                        dense,
+                        executor.plan.num_shards,
+                        count_slab,
+                        pair_slab,
+                    )
+                    for row, (index, _) in enumerate(pending)
+                ],
+            )
+            for index, _ in pending:
+                member = fleet_sketches.adopt_compiled_rows(index)
+                self._sessions[index]._bundle.adopt_compiled_tester(
+                    resolved, member
+                )
+        else:
+            for index, sets in pending:
+                member = fleet_sketches.compile_member(index, sets)
+                self._sessions[index]._bundle.adopt_compiled_tester(
+                    resolved, member
+                )
         return fleet_sketches
 
     def _run_test(

@@ -88,6 +88,14 @@ class HistogramSession:
         Optional fixed :class:`TesterParams` for every test/min-k call.
     max_candidates:
         Default candidate cap forwarded to the learner.
+    executor:
+        Optional :class:`repro.api.ParallelExecutor`: sketch compiles
+        run through the shard-mergeable builders, with per-shard work
+        fanned across the executor's process pool when it is parallel.
+        Purely an evaluation strategy — results are byte-identical to
+        the single-buffer engine for any ``(shards, workers)`` choice.
+        The executor is owned by the caller (one can serve many
+        sessions and fleets); close it when done.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class HistogramSession:
         learn_budget: GreedyParams | None = None,
         test_budget: TesterParams | None = None,
         max_candidates: int | None = None,
+        executor: "object | None" = None,
     ) -> None:
         if int(n) != n or n < 1:
             raise InvalidParameterError(f"n must be a positive integer, got {n!r}")
@@ -121,7 +130,10 @@ class HistogramSession:
         self._learn_budget = learn_budget
         self._test_budget = test_budget
         self._max_candidates = max_candidates
-        self._bundle = SketchBundle(self._source, self._n, self._rng)
+        self._executor = executor
+        self._bundle = SketchBundle(
+            self._source, self._n, self._rng, executor=executor
+        )
 
     # -------------------------------------------------------------- #
     # introspection

@@ -1,0 +1,339 @@
+"""`ShardPlan` + `ParallelExecutor`: the parallel shard engine's front.
+
+The sharded sample layer (:mod:`repro.samples.sharded`) makes every
+sketch compile a sum of independent per-shard summaries; this module
+supplies the two objects that turn that algebra into throughput:
+
+* :class:`ShardPlan` — how one logical sample pool splits into
+  mergeable shards (deterministic contiguous chunks, so a sharded run
+  is replayable and byte-identical to the monolithic one);
+* :class:`ParallelExecutor` — an order-preserving ``map`` over a
+  process pool, with ``workers=1`` falling back to inline execution
+  (no pool, no shared memory, zero overhead).  Sample pools and prefix
+  stacks travel through shared-memory slabs
+  (:mod:`repro.utils.shm`), not pickles, so fanning a fleet's member
+  compiles or a big batch of flatness misses across workers moves
+  kilobyte handles, not megabyte arrays.
+
+:class:`~repro.api.HistogramSession` and
+:class:`~repro.api.HistogramFleet` accept either via ``executor=``; the
+executor is *only* an evaluation strategy — every draw, verdict,
+histogram, query log, and memo count is byte-identical to the
+single-buffer engine for any ``(shards, workers)`` choice, which the
+conformance matrix (``tests/test_conformance_matrix.py``) pins.
+
+The executor owns its pool and any shared segments it allocated: call
+:meth:`ParallelExecutor.close` (or use it as a context manager) when
+done.  One executor can be shared by any number of sessions, fleets,
+and maintainers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.samples.sharded import sharded_interval_prefixes, shard_chunks
+from repro.utils.shm import SharedSlab, create_slab
+
+
+class ShardPlan:
+    """How a logical sample pool splits into mergeable shards.
+
+    ``num_shards=1`` is the monolithic plan (every compile runs exactly
+    the single-buffer code path).  Larger plans bound the size of any
+    buffer that must be sorted at once to ``ceil(m / num_shards)``,
+    which is what the out-of-core learn benchmark exercises; because
+    shard combination is exact integer math, the compiled sketches do
+    not depend on the plan.
+    """
+
+    __slots__ = ("_num_shards",)
+
+    def __init__(self, num_shards: int = 1) -> None:
+        if int(num_shards) != num_shards or num_shards < 1:
+            raise InvalidParameterError(
+                f"num_shards must be a positive integer, got {num_shards!r}"
+            )
+        self._num_shards = int(num_shards)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards every pool splits into."""
+        return self._num_shards
+
+    def split(self, values: np.ndarray) -> "list[np.ndarray]":
+        """The plan's contiguous chunks of one raw sample array (views)."""
+        return shard_chunks(values, self._num_shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardPlan(num_shards={self._num_shards})"
+
+
+class ParallelExecutor:
+    """Deterministic fan-out over a process pool (``workers=1`` = inline).
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` (the default) never creates a pool or a
+        shared segment — ``map`` runs inline, ``shared_zeros`` falls
+        back to plain arrays — so an executor-accepting call site needs
+        no second code path for the serial case.
+    plan:
+        The :class:`ShardPlan` compiles split pools by; defaults to one
+        shard per worker.
+    resolve_min_batch:
+        Smallest number of batched flatness-miss rows worth shipping to
+        the pool; smaller batches resolve inline (per-probe IPC would
+        dwarf the numpy work).  The conformance tests set ``1`` to force
+        the parallel path on tiny fleets.
+
+    ``map`` preserves task order and runs every task exactly once, so a
+    parallel run is a reordering of the same arithmetic — results are
+    combined positionally by the callers, never by completion order.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        plan: ShardPlan | None = None,
+        resolve_min_batch: int = 256,
+    ) -> None:
+        if int(workers) != workers or workers < 1:
+            raise InvalidParameterError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        if resolve_min_batch < 1:
+            raise InvalidParameterError(
+                f"resolve_min_batch must be >= 1, got {resolve_min_batch!r}"
+            )
+        self._workers = int(workers)
+        self._plan = plan if plan is not None else ShardPlan(self._workers)
+        self._resolve_min_batch = int(resolve_min_batch)
+        self._pool: ProcessPoolExecutor | None = None
+        self._segments: list = []
+        self._scratch: dict = {}
+        self._retired: list = []
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+
+    @property
+    def workers(self) -> int:
+        """Pool size (1 = inline)."""
+        return self._workers
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The shard plan compiles split pools by."""
+        return self._plan
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor fans work across processes at all."""
+        return self._workers > 1
+
+    @property
+    def resolve_min_batch(self) -> int:
+        """Smallest flatness-miss batch shipped to the pool."""
+        return self._resolve_min_batch
+
+    # -------------------------------------------------------------- #
+    # execution
+    # -------------------------------------------------------------- #
+
+    def map(self, fn, tasks: "list") -> list:
+        """Run ``fn`` over ``tasks``, preserving order.
+
+        Inline when the executor is serial or the batch is trivial;
+        otherwise through the (lazily created) process pool.  ``fn``
+        must be a module-level function and every task picklable —
+        which the shard task payloads (chunk arrays or
+        :class:`~repro.utils.shm.SharedSlab` handles plus scalars) are.
+        """
+        tasks = list(tasks)
+        if self._workers == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        pool = self._ensure_pool()
+        chunksize = max(1, len(tasks) // (self._workers * 2))
+        return list(pool.map(fn, tasks, chunksize=chunksize))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise InvalidParameterError("executor is closed")
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            # fork shares the parent's read-only state for free and
+            # starts in milliseconds; spawn is the portable fallback.
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers, mp_context=context
+            )
+        return self._pool
+
+    # -------------------------------------------------------------- #
+    # shared-memory slabs
+    # -------------------------------------------------------------- #
+
+    def shared_zeros(
+        self, shape: tuple, dtype=np.int64
+    ) -> tuple[np.ndarray, SharedSlab | None]:
+        """A zeroed array workers can attach to, plus its handle.
+
+        On a serial executor this is a plain ``np.zeros`` with a
+        ``None`` handle — callers branch on the handle, not on the
+        worker count.  Segments are owned by the executor and released
+        by :meth:`close`.
+        """
+        if self._workers == 1:
+            return np.zeros(shape, dtype=dtype), None
+        if self._closed:
+            raise InvalidParameterError("executor is closed")
+        segment, array, slab = create_slab(shape, dtype, zero=True)
+        self._segments.append(segment)
+        return array, slab
+
+    def scratch(
+        self, key: str, shape: tuple, dtype=np.int64
+    ) -> tuple[np.ndarray, SharedSlab | None]:
+        """A reusable (uninitialised) shared scratch slab, keyed.
+
+        One segment lives per ``key``, grown when a request outsizes it
+        — so a fleet recompiling dirty members on every refresh reuses
+        one input slab instead of leaking a segment per pass.  Serial
+        executors return a plain array and a ``None`` handle.
+        """
+        if self._workers == 1:
+            return np.empty(shape, dtype=dtype), None
+        if self._closed:
+            raise InvalidParameterError("executor is closed")
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        segment = self._scratch.get(key)
+        if segment is not None and segment.size < nbytes:
+            self._segments.remove(segment)
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - live array views remain
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            segment = None
+        if segment is None:
+            segment = create_slab(shape, dtype, zero=False)[0]
+            self._scratch[key] = segment
+            self._segments.append(segment)
+        array = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        return array, SharedSlab(segment.name, tuple(shape), dtype.str)
+
+    def release(self, *slabs: "SharedSlab | None") -> None:
+        """Release ``shared_zeros`` segments before :meth:`close`.
+
+        Long-lived executors serve many short-lived fleets; each fleet
+        registers a finalizer that hands its stack slabs back here when
+        it is collected, so ``/dev/shm`` usage tracks the *live* fleets
+        rather than every fleet ever built.  The segment's name is
+        unlinked immediately; if some array still exports the buffer
+        (e.g. a session kept a compiled member alive past its fleet),
+        the mapping is parked and unmapped at :meth:`close`.  Idempotent
+        and safe after :meth:`close`.
+        """
+        if self._closed:
+            return
+        for slab in slabs:
+            if slab is None:
+                continue
+            segment = next(
+                (s for s in self._segments if s.name == slab.name), None
+            )
+            if segment is None:
+                continue
+            self._segments.remove(segment)
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - live array views remain
+                self._retired.append(segment)
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Shut the pool down and release every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for segment in self._segments + self._retired:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - live array views remain
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._segments = []
+        self._scratch = {}
+        self._retired = []
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelExecutor(workers={self._workers}, "
+            f"plan={self._plan!r}, closed={self._closed})"
+        )
+
+
+# ------------------------------------------------------------------ #
+# worker task functions (module-level, picklable)
+# ------------------------------------------------------------------ #
+
+
+def _compile_member_rows(args: tuple) -> None:
+    """Compile one fleet member's slab from the shared sample stack.
+
+    ``args``: ``(sets_slab, row, fleet_index, n, dense, num_shards,
+    count_slab, pair_slab)``.  Reads member ``row``'s ``(r, m)`` sample
+    sets from the input slab, builds its hit/pair prefix rows through
+    the shard-mergeable builder (bit-equal to the monolithic
+    :meth:`~repro.core.flatness.FleetTesterSketches.compile_member`
+    path), and writes the ``(n + 1, r)`` gather layout straight into
+    the fleet's shared stacks — nothing but the handle travels back.
+    """
+    (sets_slab, row, fleet_index, n, dense, num_shards, count_slab, pair_slab) = args
+    sets = sets_slab.attach()[row]
+    grid = np.arange(n + 1, dtype=np.int64)
+    count_rows, pair_rows = sharded_interval_prefixes(
+        list(sets), n, grid, num_shards=num_shards, dense=dense
+    )
+    count_slab.attach()[fleet_index] = count_rows.T
+    pair_slab.attach()[fleet_index] = pair_rows.T

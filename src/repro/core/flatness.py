@@ -372,6 +372,84 @@ class CompiledTesterSketches:
         )
 
 
+def _resolve_stats(
+    count_stack: np.ndarray,
+    pair_stack: np.ndarray,
+    members: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    metric: str,
+    epsilon: float,
+    scale: float,
+    set_size: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched flatness statistics off the ``(F, n + 1, r)`` stacks.
+
+    Returns ``(light, z, threshold)`` rows for one batch of probes.
+    Every expression is row-wise (each output row depends only on its
+    own probe), so any chunking of the batch — including the executor's
+    member-axis split — reproduces the same bits; the expressions
+    themselves mirror :func:`l2_flatness_verdict` /
+    :func:`l1_flatness_verdict` operand for operand, which is what makes
+    the batched results bit-identical to the scalar kernels.
+    """
+    counts = count_stack[members, stops] - count_stack[members, starts]
+    lengths = stops - starts
+    if metric == "l2":
+        light = np.any(counts / set_size < epsilon**2 / 2, axis=1)
+    else:
+        # scale * flatness_l1_min_hits(length, epsilon), vectorised:
+        # np.sqrt and math.sqrt are both correctly-rounded IEEE ops,
+        # so the batched thresholds equal the scalar kernel's bits.
+        min_hits = scale * ((16**3) * np.sqrt(lengths) / epsilon**4)
+        light = np.any(counts < min_hits[:, None], axis=1)
+    heavy = ~light
+    z = np.zeros(members.shape[0])
+    threshold = np.zeros(members.shape[0])
+    if np.any(heavy):
+        h_counts = counts[heavy]
+        pairs = (
+            pair_stack[members[heavy], stops[heavy]]
+            - pair_stack[members[heavy], starts[heavy]]
+        )
+        denom = (h_counts - 1) * h_counts // 2
+        ratio = np.zeros(h_counts.shape, dtype=np.float64)
+        np.divide(pairs, denom, out=ratio, where=denom > 0)
+        z[heavy] = np.median(ratio, axis=1)
+        if metric == "l2":
+            p_hat = 2.0 * h_counts / set_size
+            threshold[heavy] = 1.0 / lengths[heavy] + np.max(
+                epsilon**2 / (2.0 * p_hat), axis=1
+            )
+        else:
+            threshold[heavy] = (1.0 / lengths[heavy]) * (1.0 + epsilon**2 / 4.0)
+    return light, z, threshold
+
+
+def _resolve_stats_task(args: tuple) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Executor task: one member-axis chunk of a flatness-miss batch.
+
+    ``args``: ``(count_slab, pair_slab, members, starts, stops, metric,
+    epsilon, scale, set_size)`` — the slabs are
+    :class:`~repro.utils.shm.SharedSlab` handles to the fleet's stacks,
+    so only probe coordinates travel to the pool and three small stat
+    rows travel back.
+    """
+    (count_slab, pair_slab, members, starts, stops, metric, epsilon, scale,
+     set_size) = args
+    return _resolve_stats(
+        count_slab.attach(),
+        pair_slab.attach(),
+        members,
+        starts,
+        stops,
+        metric,
+        epsilon,
+        scale,
+        set_size,
+    )
+
+
 class FleetFlatnessOracle:
     """A validate-once batched flatness oracle over a fleet's stacks.
 
@@ -442,6 +520,13 @@ class FleetFlatnessOracle:
         light checks and (for non-light rows only, matching the scalar
         kernels' lazy median) the median-of-r statistics, then memoises
         each verdict on its member with a miss tick.
+
+        When the fleet's stacks live in shared memory and its executor
+        is parallel, a large enough batch is split on the member axis
+        and the statistics computed across workers — every expression
+        is row-wise, so the chunked results are bit-identical to the
+        inline pass (memoisation and accounting always happen here, in
+        the parent).
         """
         members = np.asarray(members, dtype=np.int64)
         starts = np.asarray(starts, dtype=np.int64)
@@ -451,38 +536,56 @@ class FleetFlatnessOracle:
                 "flatness test needs non-empty intervals in every probe"
             )
         epsilon, scale, metric = self._epsilon, self._scale, self._metric
-        count_stack, pair_stack = self._fleet.stacks
         set_size = self._fleet.set_size
-        counts = count_stack[members, stops] - count_stack[members, starts]
-        lengths = stops - starts
-        if metric == "l2":
-            light = np.any(counts / set_size < epsilon**2 / 2, axis=1)
-        else:
-            # scale * flatness_l1_min_hits(length, epsilon), vectorised:
-            # np.sqrt and math.sqrt are both correctly-rounded IEEE ops,
-            # so the batched thresholds equal the scalar kernel's bits.
-            min_hits = scale * ((16**3) * np.sqrt(lengths) / epsilon**4)
-            light = np.any(counts < min_hits[:, None], axis=1)
-        heavy = ~light
-        z = np.zeros(members.shape[0])
-        threshold = np.zeros(members.shape[0])
-        if np.any(heavy):
-            h_counts = counts[heavy]
-            pairs = (
-                pair_stack[members[heavy], stops[heavy]]
-                - pair_stack[members[heavy], starts[heavy]]
-            )
-            denom = (h_counts - 1) * h_counts // 2
-            ratio = np.zeros(h_counts.shape, dtype=np.float64)
-            np.divide(pairs, denom, out=ratio, where=denom > 0)
-            z[heavy] = np.median(ratio, axis=1)
-            if metric == "l2":
-                p_hat = 2.0 * h_counts / set_size
-                threshold[heavy] = 1.0 / lengths[heavy] + np.max(
-                    epsilon**2 / (2.0 * p_hat), axis=1
+        executor = self._fleet.executor
+        slabs = self._fleet.slabs
+        if (
+            executor is not None
+            and executor.parallel
+            and slabs is not None
+            and members.shape[0] >= executor.resolve_min_batch
+        ):
+            chunks = [
+                chunk
+                for chunk in np.array_split(
+                    np.arange(members.shape[0]), executor.workers
                 )
-            else:
-                threshold[heavy] = (1.0 / lengths[heavy]) * (1.0 + epsilon**2 / 4.0)
+                if chunk.size
+            ]
+            count_slab, pair_slab = slabs
+            parts = executor.map(
+                _resolve_stats_task,
+                [
+                    (
+                        count_slab,
+                        pair_slab,
+                        members[chunk],
+                        starts[chunk],
+                        stops[chunk],
+                        metric,
+                        epsilon,
+                        scale,
+                        set_size,
+                    )
+                    for chunk in chunks
+                ],
+            )
+            light = np.concatenate([part[0] for part in parts])
+            z = np.concatenate([part[1] for part in parts])
+            threshold = np.concatenate([part[2] for part in parts])
+        else:
+            count_stack, pair_stack = self._fleet.stacks
+            light, z, threshold = _resolve_stats(
+                count_stack,
+                pair_stack,
+                members,
+                starts,
+                stops,
+                metric,
+                epsilon,
+                scale,
+                set_size,
+            )
         results: list[FlatnessResult] = []
         fleet_members = self._fleet._members
         z_list = z.tolist()
@@ -525,13 +628,45 @@ class FleetTesterSketches:
     available for domains too large to afford that.
     """
 
-    def __init__(self, n: int, num_sets: int, set_size: int, fleet_size: int) -> None:
+    def __init__(
+        self,
+        n: int,
+        num_sets: int,
+        set_size: int,
+        fleet_size: int,
+        *,
+        stacks: "tuple[np.ndarray, np.ndarray] | None" = None,
+        slabs: "tuple | None" = None,
+        executor: "object | None" = None,
+    ) -> None:
         if n < 1 or num_sets < 1 or set_size < 1 or fleet_size < 1:
             raise InvalidParameterError(
                 "FleetTesterSketches needs n, num_sets, set_size, fleet_size >= 1"
             )
-        self._count_stack = np.zeros((fleet_size, n + 1, num_sets), dtype=np.int64)
-        self._pair_stack = np.zeros((fleet_size, n + 1, num_sets), dtype=np.int64)
+        shape = (fleet_size, n + 1, num_sets)
+        if stacks is None:
+            self._count_stack = np.zeros(shape, dtype=np.int64)
+            self._pair_stack = np.zeros(shape, dtype=np.int64)
+        else:
+            # Preallocated (typically shared-memory) stacks: zeroed
+            # int64 slabs of exactly the fleet shape, provided by the
+            # executor so worker processes can write member slabs and
+            # read probe batches in place.
+            count_stack, pair_stack = stacks
+            if (
+                count_stack.shape != shape
+                or pair_stack.shape != shape
+                or count_stack.dtype != np.int64
+                or pair_stack.dtype != np.int64
+            ):
+                raise InvalidParameterError(
+                    "preallocated stacks must be two int64 arrays of shape "
+                    f"{shape}"
+                )
+            self._count_stack = count_stack
+            self._pair_stack = pair_stack
+        self._slabs = slabs
+        self._executor = executor
         self._set_size = int(set_size)
         self._members: list[CompiledTesterSketches | None] = [None] * fleet_size
 
@@ -559,6 +694,16 @@ class FleetTesterSketches:
     def stacks(self) -> tuple[np.ndarray, np.ndarray]:
         """The ``(F, n + 1, r)`` count/pair prefix stacks."""
         return self._count_stack, self._pair_stack
+
+    @property
+    def slabs(self) -> "tuple | None":
+        """Shared-memory handles of the stacks (``None`` when in-heap)."""
+        return self._slabs
+
+    @property
+    def executor(self) -> "object | None":
+        """The :class:`~repro.api.ParallelExecutor` serving this fleet."""
+        return self._executor
 
     def member(self, index: int) -> CompiledTesterSketches:
         """Member ``index``'s compiled sketches (must be compiled)."""
@@ -628,6 +773,22 @@ class FleetTesterSketches:
         self._members[index] = member
         return member
 
+    def adopt_compiled_rows(self, index: int) -> CompiledTesterSketches:
+        """Wrap slab contents a worker already wrote as member ``index``.
+
+        The parallel compile path (:meth:`repro.api.HistogramFleet` with
+        an executor) detaches the outgoing member, fans the per-member
+        row builds across workers — each writes its ``(n + 1, r)``
+        layout straight into the shared stacks — and then adopts each
+        slab here.  The member object (and its fresh, empty verdict
+        memo) is exactly what :meth:`compile_member` would have built.
+        """
+        member = CompiledTesterSketches(
+            self._count_stack[index], self._pair_stack[index], self._set_size
+        )
+        self._members[index] = member
+        return member
+
     def adopt_member(self, index: int, sketches: CompiledTesterSketches) -> None:
         """Adopt an externally compiled member into the stacks.
 
@@ -674,6 +835,44 @@ class FleetTesterSketches:
             f"FleetTesterSketches(F={self.fleet_size} ({compiled} compiled), "
             f"n={self.n}, r={self.num_sets}, m={self._set_size})"
         )
+
+
+def compile_tester_sketches_from_sets(
+    sample_sets: "list[np.ndarray]",
+    n: int,
+    *,
+    executor: "object | None" = None,
+) -> CompiledTesterSketches:
+    """Compile the tester's gather layout straight from raw sample sets.
+
+    The shard-mergeable sibling of :func:`compile_tester_sketches`: no
+    per-set :class:`~repro.samples.estimators.MultiSketch` is built —
+    each set splits into the executor's shards, the per-shard summaries
+    compile independently (fanned across the pool when the executor is
+    parallel), and only the ``(n + 1, r)`` gather slab is materialised
+    whole.  Bit-equal to compiling through the sketch for any
+    ``(shards, workers)``, so sessions swap freely between the two.
+    """
+    if not sample_sets:
+        raise InvalidParameterError(
+            "compile_tester_sketches_from_sets needs at least one sample set"
+        )
+    from repro.samples.sharded import sharded_interval_prefixes
+
+    num_shards = 1
+    mapper = None
+    if executor is not None:
+        num_shards = executor.plan.num_shards
+        mapper = executor.map
+    grid = np.arange(n + 1, dtype=np.int64)
+    count_rows, pair_rows = sharded_interval_prefixes(
+        sample_sets, n, grid, num_shards=num_shards, mapper=mapper
+    )
+    return CompiledTesterSketches(
+        np.ascontiguousarray(count_rows.T),
+        np.ascontiguousarray(pair_rows.T),
+        sample_sets[0].shape[0],
+    )
 
 
 def compile_tester_sketches(multi: MultiSketch) -> CompiledTesterSketches:

@@ -72,6 +72,7 @@ from repro.errors import InvalidParameterError
 from repro.histograms.intervals import Interval
 from repro.histograms.priority import PriorityHistogram
 from repro.histograms.tiling import TilingHistogram
+from repro.utils.deprecation import warn_one_shot_shim
 from repro.utils.prefix import pairs_count
 from repro.utils.rng import as_rng
 
@@ -498,6 +499,7 @@ def compile_greedy_sketches(
     max_candidates: int | None = None,
     rng: int | None | np.random.Generator = None,
     prefixes: str = "sorted",
+    executor: "object | None" = None,
 ) -> CompiledGreedySketches:
     """Build the candidate set and compile every sketch onto its grid.
 
@@ -519,6 +521,15 @@ def compile_greedy_sketches(
     builders produce bit-identical compiled sketches; ``"dense"`` is the
     fleet compiler's choice when the domain is within a constant of the
     sample sizes.
+
+    ``executor`` (a :class:`repro.api.ParallelExecutor`) switches the
+    prefix build to the shard-mergeable path
+    (:func:`repro.samples.sharded.sharded_interval_prefixes`): every
+    collision set splits into the executor's shards, per-shard summaries
+    compile independently — across the pool when the executor is
+    parallel — and only the ``(G, r)`` gather slab is materialised
+    whole.  Bit-identical to both monolithic builders for any
+    ``(shards, workers)``, so callers mix freely.
     """
     if method not in _METHODS:
         raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
@@ -536,7 +547,25 @@ def compile_greedy_sketches(
     from repro.samples.collision import batched_pair_prefixes, dense_interval_prefixes
     from repro.samples.sample_set import SampleSet
 
-    if prefixes == "dense":
+    if executor is not None:
+        from repro.samples.sharded import ShardedSketch, sharded_interval_prefixes
+
+        num_shards = executor.plan.num_shards
+        sharded_weight = ShardedSketch.from_array(
+            np.asarray(samples.weight_samples, dtype=np.int64), n, num_shards
+        )
+        weight_set = SampleSet.from_sorted(sharded_weight.merge(), n)
+        pair_rows = sharded_interval_prefixes(
+            samples.collision_sets,
+            n,
+            candidates.grid,
+            num_shards=num_shards,
+            mapper=executor.map,
+            dense=(prefixes == "dense") or None,
+            counts=False,
+        )[1]
+        pair_prefix_cols = np.ascontiguousarray(pair_rows.T, dtype=np.float64)
+    elif prefixes == "dense":
         weight_values = np.asarray(samples.weight_samples, dtype=np.int64)
         if weight_values.size and (
             weight_values.min() < 0 or weight_values.max() >= n
@@ -671,10 +700,12 @@ def learn_histogram(
 ) -> LearnResult:
     """Learn a near-optimal histogram from samples (Theorems 1 / 2).
 
-    One-shot composition of :func:`draw_greedy_samples` and
-    :func:`learn_from_samples`; for answering many ``(k, epsilon)``
-    queries over one shared draw, prefer
-    :class:`repro.api.HistogramSession`.
+    .. deprecated:: 1.0
+        One-shot composition of :func:`draw_greedy_samples` and
+        :func:`learn_from_samples`, kept as the PR-1 seed-compat shim —
+        a fresh :class:`repro.api.HistogramSession`'s first ``learn`` is
+        seed-for-seed identical and reuses its draw for every later
+        operation.  Calling this emits a :class:`DeprecationWarning`.
 
     Parameters
     ----------
@@ -717,6 +748,7 @@ def learn_histogram(
         The learned tiling histogram plus the paper's priority
         representation and a per-round trace.
     """
+    warn_one_shot_shim("learn_histogram", "repro.api.HistogramSession.learn")
     if method not in _METHODS:
         raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
     if params is None:

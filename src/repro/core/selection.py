@@ -33,6 +33,7 @@ from repro.core.tester import (
 from repro.errors import InvalidParameterError
 from repro.histograms.intervals import Interval
 from repro.samples.estimators import MultiSketch
+from repro.utils.deprecation import warn_one_shot_shim
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,12 @@ def estimate_min_k(
 ) -> SelectionResult:
     """Smallest ``k`` for which the tiling k-histogram tester accepts.
 
+    .. deprecated:: 1.0
+        The PR-1 seed-compat one-shot shim; a fresh
+        :class:`repro.api.HistogramSession`'s first ``min_k`` is
+        seed-for-seed identical and reuses its draw.  Calling this
+        emits a :class:`DeprecationWarning`.
+
     Parameters
     ----------
     source:
@@ -99,6 +106,7 @@ def estimate_min_k(
     is exactly the smallest ``k`` the tester would accept with these
     samples.
     """
+    warn_one_shot_shim("estimate_min_k", "repro.api.HistogramSession.min_k")
     if max_k is None:
         max_k = n
     if not 1 <= max_k <= n:

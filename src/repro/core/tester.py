@@ -48,6 +48,7 @@ from repro.core.results import FlatnessQuery, TestResult
 from repro.errors import InvalidParameterError
 from repro.histograms.intervals import Interval
 from repro.samples.estimators import MultiSketch
+from repro.utils.deprecation import warn_one_shot_shim
 from repro.utils.rng import as_rng
 
 TESTER_ENGINES = ("compiled", "full")
@@ -497,12 +498,21 @@ def test_k_histogram_l2(
 ) -> TestResult:
     """Theorem 3 tester: is ``p`` a tiling k-histogram, or eps-far in l2?
 
+    .. deprecated:: 1.0
+        The PR-1 seed-compat one-shot shim; a fresh
+        :class:`repro.api.HistogramSession`'s first ``test_l2`` is
+        seed-for-seed identical and reuses its draw.  Calling this
+        emits a :class:`DeprecationWarning`.
+
     Draws ``r = 16 ln(6 n^2)`` sets of ``m = 64 ln(n) / eps^4`` samples
     (times ``scale``) and runs Algorithm 2 with ``testFlatness-l2``.
 
     Guarantees (at ``scale = 1``): members are accepted and distributions
     eps-far in l2 are rejected, each with probability at least 2/3.
     """
+    warn_one_shot_shim(
+        "test_k_histogram_l2", "repro.api.HistogramSession.test_l2"
+    )
     _validate_k(n, k)
     if params is None:
         params = TesterParams.l2_from_paper(n, epsilon, scale=scale)
@@ -524,11 +534,20 @@ def test_k_histogram_l1(
 ) -> TestResult:
     """Theorem 4 tester: is ``p`` a tiling k-histogram, or eps-far in l1?
 
+    .. deprecated:: 1.0
+        The PR-1 seed-compat one-shot shim; a fresh
+        :class:`repro.api.HistogramSession`'s first ``test_l1`` is
+        seed-for-seed identical and reuses its draw.  Calling this
+        emits a :class:`DeprecationWarning`.
+
     Draws ``r = 16 ln(6 n^2)`` sets of ``m = 2^13 sqrt(kn) / eps^5``
     samples (times ``scale``) and runs Algorithm 2 with
     ``testFlatness-l1``; the light-interval threshold scales with ``m``
     (see :func:`l1_effective_scale`).
     """
+    warn_one_shot_shim(
+        "test_k_histogram_l1", "repro.api.HistogramSession.test_l1"
+    )
     _validate_k(n, k)
     if params is None:
         params = TesterParams.l1_from_paper(n, k, epsilon, scale=scale)

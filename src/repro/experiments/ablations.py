@@ -4,10 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.session import HistogramSession
 from repro.baselines.voptimal import voptimal_cost
-from repro.core.greedy import learn_histogram
 from repro.core.params import GreedyParams, TesterParams, greedy_rounds
-from repro.core.tester import test_k_histogram_l1
 from repro.core.uniformity import test_uniformity, uniformity_sample_size
 from repro.distributions import families
 from repro.distributions.distances import l2_distance_squared
@@ -44,7 +43,11 @@ def run_t7(config: ExperimentConfig) -> ExperimentResult:
         nonlocal idx
         errs, info = [], None
         for _ in range(repeats):
-            learned = learn_histogram(dist, n, k, eps, rng=rngs[idx], **kwargs)
+            # One fresh session per trial keeps trials independent (and
+            # each first learn seed-identical to the retired one-shot).
+            learned = HistogramSession(dist, n, rng=rngs[idx]).learn(
+                k, eps, **kwargs
+            )
             idx += 1
             errs.append(l2_distance_squared(dist, learned.histogram) - opt)
             info = learned
@@ -85,7 +88,9 @@ def run_t7(config: ExperimentConfig) -> ExperimentResult:
     # of the paper-faithful output vs the weight-filled variant.
     gapped_errs, filled_errs = [], []
     for _ in range(repeats):
-        learned = learn_histogram(dist, n, k, eps, method="fast", params=base, rng=rngs[idx])
+        learned = HistogramSession(dist, n, rng=rngs[idx]).learn(
+            k, eps, method="fast", params=base
+        )
         idx += 1
         gapped_errs.append(l2_distance_squared(dist, learned.histogram) - opt)
         filled_errs.append(l2_distance_squared(dist, learned.filled_histogram) - opt)
@@ -133,7 +138,9 @@ def run_t8(config: ExperimentConfig) -> ExperimentResult:
         general_flags, gr_flags = [], []
         for _ in range(trials):
             general_flags.append(
-                test_k_histogram_l1(dist, n, 1, eps, params=l1_params, rng=rngs[idx]).accepted
+                HistogramSession(dist, n, rng=rngs[idx])
+                .test_l1(1, eps, params=l1_params)
+                .accepted
             )
             idx += 1
             gr_flags.append(test_uniformity(dist, n, eps, rng=rngs[idx]).accepted)

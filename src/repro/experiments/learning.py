@@ -7,7 +7,6 @@ import numpy as np
 from repro.api.fleet import HistogramFleet
 from repro.api.session import HistogramSession
 from repro.baselines.voptimal import voptimal_cost, voptimal_histogram
-from repro.core.greedy import learn_histogram
 from repro.core.params import GreedyParams
 from repro.distributions import families
 from repro.distributions.distances import l2_distance_squared
@@ -51,8 +50,8 @@ def run_t1(config: ExperimentConfig) -> ExperimentResult:
     )
     rngs = spawn_rngs(config.seed, len(_workloads(n, config.quick)))
     for (name, dist, k), rng in zip(_workloads(n, config.quick), rngs):
-        learned = learn_histogram(
-            dist, n, k, EPSILON, method="exhaustive", scale=SCALE, rng=rng
+        learned = HistogramSession(dist, n, rng=rng, scale=SCALE).learn(
+            k, EPSILON, method="exhaustive"
         )
         err = l2_distance_squared(dist, learned.histogram)
         opt = voptimal_cost(dist.pmf, k, norm="l2")
@@ -168,12 +167,18 @@ def run_f2(config: ExperimentConfig) -> ExperimentResult:
     rngs = spawn_rngs(config.seed + 3, len(sizes))
     for n, rng in zip(sizes, rngs):
         dist = families.random_tiling_histogram(n, k, 13, min_piece=max(n // 32, 1))
+        # A fresh session per timed call preserves the retired one-shot's
+        # behaviour exactly: each call draws fresh samples (the shared
+        # generator advances through both), so neither timing benefits
+        # from the other's pools.
         with Timer() as t_fast:
-            fast = learn_histogram(dist, n, k, EPSILON, method="fast", scale=SCALE, rng=rng)
+            fast = HistogramSession(dist, n, rng=rng, scale=SCALE).learn(
+                k, EPSILON, method="fast"
+            )
         if n <= 512:
             with Timer() as t_slow:
-                slow = learn_histogram(
-                    dist, n, k, EPSILON, method="exhaustive", scale=SCALE, rng=rng
+                slow = HistogramSession(dist, n, rng=rng, scale=SCALE).learn(
+                    k, EPSILON, method="exhaustive"
                 )
             slow_time: object = t_slow.elapsed
             slow_cands: object = slow.num_candidates

@@ -52,6 +52,13 @@ class FleetMaintainer:
         Base seed; one independent child generator is spawned per
         stream (reservoir and session draws share it, mirroring the
         single-stream maintainer).
+    executor:
+        Optional :class:`repro.api.ParallelExecutor` forwarded to the
+        fleet.  Reservoirs feed the shard slabs directly: a refresh
+        touches only the dirty members' slabs (the quiet streams'
+        compiled state never recompiles), and those dirty recompiles
+        fan across the executor's workers.  Byte-identical results; the
+        caller owns the executor.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class FleetMaintainer:
         engine: str = "incremental",
         tester_engine: str = "compiled",
         rng: "int | None | np.random.Generator" = None,
+        executor: "object | None" = None,
     ) -> None:
         if fleet_size < 1:
             raise InvalidParameterError(
@@ -102,6 +110,7 @@ class FleetMaintainer:
             method="fast",
             engine=engine,
             tester_engine=tester_engine,
+            executor=executor,
         )
         self._items_seen = [0] * fleet_size
         self._since_rebuild = [0] * fleet_size

@@ -60,6 +60,11 @@ class StreamingHistogramMaintainer:
     tester_engine:
         Flatness engine forwarded to the session for :meth:`test` /
         :meth:`min_k` (``"compiled"`` or ``"full"``).
+    executor:
+        Optional :class:`repro.api.ParallelExecutor` forwarded to the
+        session: the reservoir's pooled draws feed the shard-mergeable
+        compile builders directly, so rebuild compiles fan per shard.
+        Results stay byte-identical; the caller owns the executor.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class StreamingHistogramMaintainer:
         engine: str = "incremental",
         tester_engine: str = "compiled",
         rng: "int | None | np.random.Generator" = None,
+        executor: "object | None" = None,
     ) -> None:
         if n < 1 or k < 1:
             raise InvalidParameterError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
@@ -83,6 +89,7 @@ class StreamingHistogramMaintainer:
         self._epsilon = float(epsilon)
         self._engine = engine
         self._tester_engine = tester_engine
+        self._executor = executor
         self._rng = as_rng(rng)
         self._reservoir = ReservoirSampler(reservoir_capacity, self._rng)
         self._refresh_every = (
@@ -118,6 +125,7 @@ class StreamingHistogramMaintainer:
             method="fast",
             engine=self._engine,
             tester_engine=self._tester_engine,
+            executor=self._executor,
         )
 
     def _sync_session(self) -> HistogramSession:

@@ -1,0 +1,26 @@
+"""Deprecation plumbing for the PR-1 seed-compat one-shot shims.
+
+The classic module-level entry points (``learn_histogram``,
+``test_k_histogram_l2`` / ``test_k_histogram_l1``, ``estimate_min_k``)
+were kept through the session refactor as seed-compatible shims; every
+internal caller now rides :class:`repro.api.HistogramSession` /
+:class:`repro.api.HistogramFleet`, which share draws and sketches across
+calls.  The shims still work — and a *fresh* session's first operation
+remains seed-for-seed identical to them — but new code should not grow
+on them, so they warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_one_shot_shim(name: str, replacement: str) -> None:
+    """Emit the standard one-shot-shim deprecation warning."""
+    warnings.warn(
+        f"the {name} one-shot entry point is deprecated; use {replacement} "
+        "(one draw, shared sketches; a fresh session's first operation is "
+        "seed-identical to this call)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,115 @@
+"""Shared-memory slab plumbing for the parallel shard executor.
+
+A :class:`SharedSlab` is a picklable *handle* to a numpy array living in
+POSIX shared memory: worker processes attach by name and see the same
+bytes the parent wrote — no per-task pickling of sample pools or prefix
+stacks.  The parent (via :class:`repro.api.ParallelExecutor`) owns the
+segment's lifetime; workers only ever attach, and their attachments are
+unregistered from the stdlib resource tracker so a worker exiting never
+tears down a segment the parent still serves from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+# Worker-side attachment cache: one buffer per segment name, kept alive
+# across tasks so repeated work over one slab attaches once.  (The
+# parent rarely uses this path — it keeps the arrays it allocated; see
+# ParallelExecutor — but an inline-degraded task may.)  LRU-bounded:
+# segments the parent has replaced (e.g. a grown scratch slab) would
+# otherwise stay mapped — unlinked but resident — for the life of every
+# worker.  Eviction unmaps lazily and backs off while a task's arrays
+# still reference the buffer.
+_ATTACH_CACHE_LIMIT = 32
+_ATTACHED: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _evict_attachments() -> None:
+    """Unmap least-recently-used segments beyond the cache bound."""
+    for name in list(_ATTACHED.keys()):
+        if len(_ATTACHED) <= _ATTACH_CACHE_LIMIT:
+            break
+        segment = _ATTACHED.pop(name)
+        try:
+            segment.close()
+        except BufferError:
+            # A live ndarray still exports the buffer (a task in
+            # flight); keep the mapping, marked recently used, and let
+            # a later attach retry.
+            _ATTACHED[name] = segment
+
+
+@dataclass(frozen=True)
+class SharedSlab:
+    """A picklable handle to a shared-memory numpy array."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+    def attach(self) -> np.ndarray:
+        """The slab as an ndarray (worker side; cached per process)."""
+        segment = _ATTACHED.get(self.name)
+        if segment is None:
+            segment = _open_segment(self.name)
+            _ATTACHED[self.name] = segment
+            _evict_attachments()
+        else:
+            _ATTACHED.move_to_end(self.name)
+        if isinstance(segment, shared_memory.SharedMemory):
+            buffer = segment.buf  # pragma: no cover - non-POSIX fallback
+        else:
+            buffer = segment
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=buffer)
+
+
+def _open_segment(name: str):
+    """Map an existing segment read-write, without tracker side effects.
+
+    ``SharedMemory(name=...)`` registers every *attachment* with the
+    stdlib resource tracker, which the forked pool shares with the
+    parent — an attaching worker would then corrupt the parent's
+    bookkeeping (double unregister) or tear segments down early.  On
+    POSIX we open the segment directly instead; elsewhere (no
+    ``_posixshmem``) attachment falls back to ``SharedMemory``, whose
+    Windows implementation does not use the tracker at all.
+    """
+    try:
+        import _posixshmem
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return shared_memory.SharedMemory(name=name)
+    import mmap
+    import os
+
+    fd = _posixshmem.shm_open("/" + name.lstrip("/"), os.O_RDWR, mode=0o600)
+    try:
+        return mmap.mmap(fd, 0)
+    finally:
+        os.close(fd)
+
+
+def create_slab(
+    shape: tuple, dtype=np.int64, *, zero: bool = True
+) -> tuple[shared_memory.SharedMemory, np.ndarray, SharedSlab]:
+    """Allocate one shared-memory array; parent keeps all three pieces.
+
+    Returns ``(segment, array, handle)``: the segment object (close +
+    unlink when done), the parent's view of it, and the picklable handle
+    workers attach through.
+
+    A fresh POSIX segment is extended with ``ftruncate``, which the OS
+    defines as zero-filled, so ``zero=True`` costs nothing — no eager
+    memset, pages materialise on first touch exactly as ``np.zeros``'s
+    do.  (The parameter stays for readers: callers declare whether they
+    rely on the zeros.)
+    """
+    dtype = np.dtype(dtype)
+    size = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    array = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+    return segment, array, SharedSlab(segment.name, tuple(shape), dtype.str)

@@ -10,8 +10,10 @@ from hypothesis import strategies as st
 from repro.errors import InvalidParameterError
 from repro.samples.collision import (
     CollisionSketch,
+    batched_interval_prefixes,
     batched_pair_prefixes,
     collision_count,
+    dense_interval_prefixes,
 )
 from repro.utils.prefix import pairs_count
 
@@ -146,6 +148,71 @@ class TestBatchedPrefixes:
             [CollisionSketch(s, n).prefixes_on_grid(grid)[1] for s in sets]
         )
         assert np.array_equal(batched, stacked)
+
+
+@st.composite
+def adversarial_set_batches(draw):
+    """(n, sets) with the shapes that break naive prefix builders.
+
+    Single-point domains, empty sets, all-mass-on-one-bucket sets, and
+    arbitrary multisets mix freely — the interchange contract between
+    the counting and sort builders must hold on all of them.
+    """
+    n = draw(st.integers(min_value=1, max_value=12))
+    def one_set(kind_and_seed):
+        kind, value, size, arbitrary = kind_and_seed
+        if kind == "empty":
+            return []
+        if kind == "one-bucket":
+            return [value % n] * size
+        return [v % n for v in arbitrary]
+    kinds = st.tuples(
+        st.sampled_from(["empty", "one-bucket", "arbitrary"]),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=1, max_value=25),
+        st.lists(st.integers(min_value=0, max_value=11), max_size=30),
+    ).map(one_set)
+    sets = draw(st.lists(kinds, min_size=1, max_size=4))
+    return n, [np.array(s, dtype=np.int64) for s in sets]
+
+
+class TestDenseVsSortProperty:
+    """dense_interval_prefixes must equal the sort path bit for bit.
+
+    The fleet lockstep suite only exercises the interchange indirectly
+    (through whole tester runs); this pins it at the builder level, on
+    adversarial shapes, for both the count and pair rows.
+    """
+
+    @given(adversarial_set_batches())
+    def test_dense_equals_sort_path(self, batch):
+        n, sets = batch
+        grid = np.arange(n + 1, dtype=np.int64)
+        dense_counts, dense_pairs = dense_interval_prefixes(sets, n)
+        sort_counts, sort_pairs = batched_interval_prefixes(sets, n, grid)
+        assert dense_counts.dtype == sort_counts.dtype == np.int64
+        assert np.array_equal(dense_counts, sort_counts)
+        assert np.array_equal(dense_pairs, sort_pairs)
+
+    def test_single_point_domain(self):
+        counts, pairs = dense_interval_prefixes(
+            [np.zeros(9, dtype=np.int64), np.zeros(0, dtype=np.int64)], 1
+        )
+        ref = batched_interval_prefixes(
+            [np.zeros(9, dtype=np.int64), np.zeros(0, dtype=np.int64)],
+            1,
+            np.array([0, 1]),
+        )
+        assert np.array_equal(counts, ref[0])
+        assert np.array_equal(pairs, ref[1])
+        assert pairs[0, 1] == pairs_count(9)
+
+    def test_all_mass_on_one_bucket(self):
+        sets = [np.full(50, 3, dtype=np.int64)]
+        counts, pairs = dense_interval_prefixes(sets, 8)
+        ref = batched_interval_prefixes(sets, 8, np.arange(9))
+        assert np.array_equal(counts, ref[0])
+        assert np.array_equal(pairs, ref[1])
 
 
 class TestScaling:

@@ -15,6 +15,13 @@ learned histogram buffers, tester verdicts *with query logs*, and min-k
 selections.  This is the one test that catches an engine drifting from
 the others anywhere in the stack — a new engine or source adapter joins
 the matrix, not a bespoke suite.
+
+A second matrix covers the parallel shard engine: shards (1/2/7) ×
+workers (1/4) × tester engine, on both drivers, must reproduce the
+serial single-buffer outcomes bit for bit — *including* every compiled
+sketch's flatness-memo accounting, since the executor fans compiles and
+miss batches across processes but must never change what gets memoised
+where.
 """
 
 from __future__ import annotations
@@ -24,7 +31,14 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.api import ArraySource, CountingSource, HistogramFleet, HistogramSession
+from repro.api import (
+    ArraySource,
+    CountingSource,
+    HistogramFleet,
+    HistogramSession,
+    ParallelExecutor,
+    ShardPlan,
+)
 from repro.core.params import GreedyParams, TesterParams
 from repro.distributions import families
 
@@ -64,8 +78,40 @@ def _freeze_learn(result):
     )
 
 
-def run_scenario(engine: str, tester_engine: str, source_kind: str, driver: str, seed: int):
-    """One pinned workload; returns a fully comparable outcome tuple."""
+def _freeze_memo(sessions) -> tuple:
+    """Per-member flatness-memo accounting of every compiled budget.
+
+    Part of the byte-identity contract *within* one tester engine: the
+    shard/worker axes fan compiles and miss batches across processes but
+    must leave every member's memo — hits, misses, and distinct entries
+    — exactly as the serial engine does.  (Cells on the ``full`` engine
+    compile nothing, freezing to empty tuples on both sides.)
+    """
+    return tuple(
+        tuple(
+            (key, compiled.memo_hits, compiled.memo_misses, compiled.memo_size)
+            for key, compiled in sorted(
+                session._bundle._tester_compiled_cache.items()
+            )
+        )
+        for session in sessions
+    )
+
+
+def run_scenario(
+    engine: str,
+    tester_engine: str,
+    source_kind: str,
+    driver: str,
+    seed: int,
+    executor: ParallelExecutor | None = None,
+):
+    """One pinned workload; returns ``(outcome, memo accounting)``.
+
+    ``outcome`` is comparable across every matrix axis; the memo
+    accounting only across cells sharing a tester engine (the ``full``
+    engine legitimately memoises nothing).
+    """
     sources = _make_sources(source_kind)
     seeds = [seed + f for f in range(FLEET_SIZE)]
     kwargs = dict(
@@ -73,6 +119,7 @@ def run_scenario(engine: str, tester_engine: str, source_kind: str, driver: str,
         tester_engine=tester_engine,
         learn_budget=LEARN_PARAMS,
         test_budget=TEST_PARAMS,
+        executor=executor,
     )
     if driver == "fleet":
         fleet = HistogramFleet(sources, N, rngs=seeds, **kwargs)
@@ -80,6 +127,7 @@ def run_scenario(engine: str, tester_engine: str, source_kind: str, driver: str,
         tested_l2 = fleet.test_many(TEST_GRID, norm="l2")
         tested_l1 = fleet.test_l1(3, 0.3)
         selected = fleet.min_k(0.3, max_k=6, norm="l2")
+        sessions = fleet._sessions
     else:
         sessions = [
             HistogramSession(source, N, rng=member_seed, **kwargs)
@@ -89,19 +137,20 @@ def run_scenario(engine: str, tester_engine: str, source_kind: str, driver: str,
         tested_l2 = [session.test_many(TEST_GRID, norm="l2") for session in sessions]
         tested_l1 = [session.test_l1(3, 0.3) for session in sessions]
         selected = [session.min_k(0.3, max_k=6, norm="l2") for session in sessions]
-    return (
+    outcome = (
         tuple(_freeze_learn(result) for result in learned),
         tuple(tuple(member) for member in tested_l2),
         tuple(tested_l1),
         tuple(selected),
     )
+    return outcome, _freeze_memo(sessions)
 
 
 @pytest.fixture(scope="module")
 def reference_outcomes():
     """The matrix's reference cell, computed once per pinned seed."""
     return {
-        seed: run_scenario("incremental", "compiled", "array", "session", seed)
+        seed: run_scenario("incremental", "compiled", "array", "session", seed)[0]
         for seed in SEEDS
     }
 
@@ -118,8 +167,63 @@ def test_matrix_cell_matches_reference(
     """Pairwise identity via a shared reference cell (equality is
     transitive, so all C(|matrix|, 2) pairs agree iff each cell agrees
     with the reference)."""
-    outcome = run_scenario(engine, tester_engine, source_kind, driver, seed)
+    outcome, _ = run_scenario(engine, tester_engine, source_kind, driver, seed)
     assert outcome == reference_outcomes[seed]
+
+
+# ------------------------------------------------------------------ #
+# shards × workers × tester engine (the parallel shard engine)
+# ------------------------------------------------------------------ #
+
+SHARDS = (1, 2, 7)
+WORKERS = (1, 4)
+SHARD_MATRIX = list(itertools.product(SHARDS, WORKERS, TESTER_ENGINES))
+
+
+@pytest.fixture(scope="module")
+def shard_references():
+    """Serial (no-executor) reference per tester engine, both drivers.
+
+    Memo accounting is only comparable within one tester engine, so the
+    shard matrix carries one full ``(outcome, memo)`` reference per
+    engine; outcomes additionally agree across engines through the main
+    matrix's reference cell.
+    """
+    return {
+        (tester_engine, driver): run_scenario(
+            "incremental", tester_engine, "array", driver, SEEDS[0]
+        )
+        for tester_engine in TESTER_ENGINES
+        for driver in DRIVERS
+    }
+
+
+@pytest.mark.parametrize(
+    "shards,workers,tester_engine",
+    SHARD_MATRIX,
+    ids=[f"shards{s}-workers{w}-{te}" for s, w, te in SHARD_MATRIX],
+)
+def test_shard_matrix_cell_matches_reference(
+    shards, workers, tester_engine, shard_references
+):
+    """Sharded + parallel execution is byte-identical to the serial
+    single-buffer engine on both drivers — verdicts, histograms, query
+    logs, and per-member memo accounting.  ``resolve_min_batch=1``
+    forces even this tiny fleet's flatness misses through the worker
+    fan-out path when the executor is parallel."""
+    with ParallelExecutor(
+        workers, plan=ShardPlan(shards), resolve_min_batch=1
+    ) as executor:
+        for driver in DRIVERS:
+            outcome, memo = run_scenario(
+                "incremental",
+                tester_engine,
+                "array",
+                driver,
+                SEEDS[0],
+                executor=executor,
+            )
+            assert (outcome, memo) == shard_references[(tester_engine, driver)]
 
 
 def test_counting_sources_observe_identical_draws():

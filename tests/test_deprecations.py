@@ -1,0 +1,76 @@
+"""The PR-1 seed-compat one-shot shims are formally deprecated.
+
+Each retired entry point must (a) emit a ``DeprecationWarning`` naming
+its session replacement and (b) keep returning exactly what the session
+front door returns at the same seed — deprecation must not change
+behaviour for existing callers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import HistogramSession
+from repro.core.greedy import learn_histogram
+from repro.core.params import GreedyParams, TesterParams
+from repro.core.selection import estimate_min_k
+from repro.core.tester import test_k_histogram_l1 as khist_test_l1
+from repro.core.tester import test_k_histogram_l2 as khist_test_l2
+from repro.distributions import families
+
+N = 64
+DIST = families.random_tiling_histogram(N, 3, rng=2, min_piece=8)
+LEARN_PARAMS = GreedyParams(
+    weight_sample_size=800, collision_sets=3, collision_set_size=400, rounds=2
+)
+TEST_PARAMS = TesterParams(num_sets=4, set_size=900)
+
+
+@pytest.mark.parametrize(
+    "name,call",
+    [
+        (
+            "learn_histogram",
+            lambda: learn_histogram(DIST, N, 3, 0.3, params=LEARN_PARAMS, rng=1),
+        ),
+        (
+            "test_k_histogram_l2",
+            lambda: khist_test_l2(DIST, N, 3, 0.3, params=TEST_PARAMS, rng=1),
+        ),
+        (
+            "test_k_histogram_l1",
+            lambda: khist_test_l1(DIST, N, 3, 0.3, params=TEST_PARAMS, rng=1),
+        ),
+        (
+            "estimate_min_k",
+            lambda: estimate_min_k(
+                DIST, N, 0.3, max_k=5, params=TEST_PARAMS, rng=1
+            ),
+        ),
+    ],
+)
+def test_one_shot_shims_warn(name, call):
+    """Every shim emits the standard deprecation warning, by name."""
+    with pytest.warns(DeprecationWarning, match=f"{name} one-shot entry point"):
+        call()
+
+
+def test_deprecated_shims_still_match_sessions():
+    """Deprecation changed nothing: shim output == fresh session output."""
+    with pytest.warns(DeprecationWarning):
+        legacy = khist_test_l1(DIST, N, 3, 0.3, params=TEST_PARAMS, rng=7)
+    fresh = HistogramSession(DIST, N, rng=7).test_l1(3, 0.3, params=TEST_PARAMS)
+    assert legacy == fresh
+
+    with pytest.warns(DeprecationWarning):
+        legacy_learn = learn_histogram(
+            DIST, N, 3, 0.3, params=LEARN_PARAMS, rng=7
+        )
+    fresh_learn = HistogramSession(DIST, N, rng=7).learn(
+        3, 0.3, params=LEARN_PARAMS
+    )
+    assert (
+        legacy_learn.histogram.values.tobytes()
+        == fresh_learn.histogram.values.tobytes()
+    )
+    assert legacy_learn.rounds == fresh_learn.rounds

@@ -1,0 +1,328 @@
+"""Tests for repro.api.shard — ShardPlan and ParallelExecutor.
+
+Conformance of full workloads lives in the shards × workers matrix
+(``tests/test_conformance_matrix.py``); this file covers the executor's
+own mechanics — inline fallback, order preservation, shared slabs,
+scratch reuse, lifecycle — plus the compile entry points and the
+streaming maintainers' executor passthrough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ParallelExecutor, ShardPlan
+from repro.api.shard import _compile_member_rows
+from repro.core.flatness import (
+    _resolve_stats,
+    _resolve_stats_task,
+    compile_tester_sketches,
+    compile_tester_sketches_from_sets,
+)
+from repro.core.greedy import GreedySamples, compile_greedy_sketches
+from repro.errors import InvalidParameterError
+from repro.samples.collision import dense_interval_prefixes
+from repro.samples.estimators import MultiSketch
+from repro.streaming import StreamingHistogramMaintainer
+from repro.streaming.fleet import FleetMaintainer
+from repro.utils.shm import create_slab
+
+
+def _square(task: int) -> int:
+    return task * task
+
+
+def _read_slab(args):
+    slab, index = args
+    return int(slab.attach()[index])
+
+
+class TestShardPlan:
+    def test_defaults_and_split(self):
+        plan = ShardPlan(3)
+        assert plan.num_shards == 3
+        chunks = plan.split(np.arange(7))
+        assert [c.tolist() for c in chunks] == [[0, 1, 2], [3, 4], [5, 6]]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ShardPlan(0)
+
+
+class TestParallelExecutorInline:
+    def test_defaults(self):
+        with ParallelExecutor() as executor:
+            assert executor.workers == 1
+            assert not executor.parallel
+            assert executor.plan.num_shards == 1
+
+    def test_plan_defaults_to_one_shard_per_worker(self):
+        with ParallelExecutor(4) as executor:
+            assert executor.plan.num_shards == 4
+
+    def test_inline_map(self):
+        with ParallelExecutor() as executor:
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_inline_shared_zeros_is_plain_array(self):
+        with ParallelExecutor() as executor:
+            array, slab = executor.shared_zeros((2, 3))
+            assert slab is None
+            assert array.shape == (2, 3) and not array.any()
+            scratch, handle = executor.scratch("x", (4,))
+            assert handle is None and scratch.shape == (4,)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelExecutor(0)
+        with pytest.raises(InvalidParameterError):
+            ParallelExecutor(2, resolve_min_batch=0)
+
+
+class TestParallelExecutorPool:
+    def test_map_preserves_order(self):
+        with ParallelExecutor(4) as executor:
+            tasks = list(range(23))
+            assert executor.map(_square, tasks) == [t * t for t in tasks]
+
+    def test_workers_see_shared_writes(self):
+        with ParallelExecutor(2) as executor:
+            array, slab = executor.shared_zeros((5,))
+            assert slab is not None
+            array[:] = np.arange(5) * 10
+            got = executor.map(_read_slab, [(slab, i) for i in range(5)])
+            assert got == [0, 10, 20, 30, 40]
+
+    def test_scratch_reuse_and_growth(self):
+        with ParallelExecutor(2) as executor:
+            _, first = executor.scratch("k", (4,))
+            _, again = executor.scratch("k", (3,))
+            assert again.name == first.name  # reused, not reallocated
+            _, grown = executor.scratch("k", (400,))
+            assert grown.name != first.name  # outgrew the segment
+
+    def test_closed_executor_rejects_work(self):
+        executor = ParallelExecutor(2)
+        executor.map(_square, [1, 2])
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(InvalidParameterError):
+            executor.map(_square, [1, 2])
+        with pytest.raises(InvalidParameterError):
+            executor.shared_zeros((2,))
+
+
+class TestCompileEntryPoints:
+    """Executor-driven compiles must equal the monolithic compiles."""
+
+    @pytest.mark.parametrize("workers,shards", [(1, 1), (1, 5), (2, 3)])
+    def test_tester_compile_matches(self, workers, shards):
+        rng = np.random.default_rng(3)
+        n = 48
+        sets = [rng.integers(0, n, size=700) for _ in range(4)]
+        reference = compile_tester_sketches(MultiSketch.from_sample_sets(sets, n))
+        with ParallelExecutor(workers, plan=ShardPlan(shards)) as executor:
+            compiled = compile_tester_sketches_from_sets(
+                sets, n, executor=executor
+            )
+        assert np.array_equal(compiled._count_cols, reference._count_cols)
+        assert np.array_equal(compiled._pair_cols, reference._pair_cols)
+        assert compiled.set_size == reference.set_size
+
+    def test_tester_compile_needs_sets(self):
+        with pytest.raises(InvalidParameterError):
+            compile_tester_sketches_from_sets([], 8)
+
+    @pytest.mark.parametrize("workers,shards", [(1, 5), (2, 3)])
+    @pytest.mark.parametrize("method", ["fast", "exhaustive"])
+    def test_greedy_compile_matches(self, workers, shards, method):
+        rng = np.random.default_rng(4)
+        n = 32
+        samples = GreedySamples(
+            rng.integers(0, n, size=900),
+            tuple(rng.integers(0, n, size=500) for _ in range(3)),
+        )
+        reference = compile_greedy_sketches(samples, n, method=method)
+        with ParallelExecutor(workers, plan=ShardPlan(shards)) as executor:
+            compiled = compile_greedy_sketches(
+                samples, n, method=method, executor=executor
+            )
+        assert np.array_equal(
+            compiled.weight_set.sorted_values, reference.weight_set.sorted_values
+        )
+        assert np.array_equal(compiled.weight_prefix, reference.weight_prefix)
+        assert np.array_equal(
+            compiled.pair_prefix_cols, reference.pair_prefix_cols
+        )
+        assert np.array_equal(compiled.self_costs, reference.self_costs)
+
+
+class TestWorkerTasks:
+    """The worker-side task functions, run in-process against references.
+
+    (The pool runs them in forked children, invisible to coverage; the
+    parity they must hold is process-independent, so it is pinned here
+    directly over real shared-memory slabs.)
+    """
+
+    def test_compile_member_rows_matches_inline_compile(self):
+        rng = np.random.default_rng(5)
+        n, r, m = 20, 3, 150
+        sets = [rng.integers(0, n, size=m) for _ in range(r)]
+        segments = []
+        try:
+            seg_in, staged, sets_slab = create_slab((2, r, m))
+            segments.append(seg_in)
+            staged[1] = np.stack(sets)
+            seg_c, count_stack, count_slab = create_slab((4, n + 1, r))
+            seg_p, pair_stack, pair_slab = create_slab((4, n + 1, r))
+            segments += [seg_c, seg_p]
+            _compile_member_rows(
+                (sets_slab, 1, 2, n, True, 2, count_slab, pair_slab)
+            )
+            ref_counts, ref_pairs = dense_interval_prefixes(sets, n)
+            assert np.array_equal(count_stack[2], ref_counts.T)
+            assert np.array_equal(pair_stack[2], ref_pairs.T)
+            assert not count_stack[0].any()  # other slabs untouched
+        finally:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+
+    @pytest.mark.parametrize("metric", ["l2", "l1"])
+    def test_resolve_stats_task_matches_inline(self, metric):
+        rng = np.random.default_rng(6)
+        n, r, fleet_size, m = 16, 3, 3, 200
+        count_ref, pair_ref = [], []
+        for _ in range(fleet_size):
+            sets = [rng.integers(0, n, size=m) for _ in range(r)]
+            counts, pairs = dense_interval_prefixes(sets, n)
+            count_ref.append(counts.T)
+            pair_ref.append(pairs.T)
+        segments = []
+        try:
+            seg_c, count_stack, count_slab = create_slab((fleet_size, n + 1, r))
+            seg_p, pair_stack, pair_slab = create_slab((fleet_size, n + 1, r))
+            segments += [seg_c, seg_p]
+            count_stack[:] = np.stack(count_ref)
+            pair_stack[:] = np.stack(pair_ref)
+            members = np.array([0, 2, 1])
+            starts = np.array([0, 3, 8])
+            stops = np.array([16, 9, 12])
+            got = _resolve_stats_task(
+                (count_slab, pair_slab, members, starts, stops, metric,
+                 0.3, 1.0, m)
+            )
+            want = _resolve_stats(
+                count_stack, pair_stack, members, starts, stops, metric,
+                0.3, 1.0, m,
+            )
+            for got_part, want_part in zip(got, want):
+                assert np.array_equal(got_part, want_part)
+        finally:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+
+
+class TestFleetSlabLifecycle:
+    def test_dead_fleets_release_their_stack_segments(self):
+        """A long-lived executor serving short-lived fleets must not
+        accumulate their shared stacks (the /dev/shm leak)."""
+        import gc
+
+        from repro.api import ArraySource, HistogramFleet
+        from repro.core.params import TesterParams
+
+        rng = np.random.default_rng(2)
+        n = 32
+        sources = [ArraySource(rng.integers(0, n, size=2_000), n) for _ in range(2)]
+        params = TesterParams(num_sets=3, set_size=500)
+        with ParallelExecutor(2) as executor:
+            for _ in range(4):
+                fleet = HistogramFleet(
+                    sources, n, rngs=[0, 1], test_budget=params, executor=executor
+                )
+                fleet.test_l2(2, 0.3)
+                del fleet
+                gc.collect()
+            # scratch (1 segment) may persist; the per-fleet stack pairs
+            # must not: at most the live round's two could remain.
+            assert len(executor._segments) <= 3
+
+
+class TestAttachmentCache:
+    def test_attach_cache_stays_bounded(self):
+        """Replaced segments are unmapped instead of accumulating for
+        the process lifetime (the worker-side LRU bound)."""
+        from repro.utils import shm as shm_module
+
+        segments = []
+        try:
+            for _ in range(shm_module._ATTACH_CACHE_LIMIT + 8):
+                segment, _, slab = create_slab((4,))
+                segments.append(segment)
+                array = slab.attach()
+                assert array.shape == (4,)
+                del array  # release the export so eviction can unmap
+            assert len(shm_module._ATTACHED) <= shm_module._ATTACH_CACHE_LIMIT
+        finally:
+            for segment in segments:
+                try:
+                    segment.close()
+                except BufferError:
+                    pass
+                segment.unlink()
+
+
+class TestMaintainerPassthrough:
+    """Maintainers with an executor reproduce the serial byte stream."""
+
+    def _feed(self, maintainer, rng):
+        for _ in range(3):
+            maintainer.update_many(rng.integers(0, 64, size=400))
+
+    def test_streaming_maintainer_matches_serial(self):
+        serial = StreamingHistogramMaintainer(
+            64, 4, reservoir_capacity=512, refresh_every=300, rng=0
+        )
+        self._feed(serial, np.random.default_rng(9))
+        with ParallelExecutor(2, plan=ShardPlan(3)) as executor:
+            parallel = StreamingHistogramMaintainer(
+                64, 4, reservoir_capacity=512, refresh_every=300, rng=0,
+                executor=executor,
+            )
+            self._feed(parallel, np.random.default_rng(9))
+            assert np.array_equal(
+                serial.histogram.values, parallel.histogram.values
+            )
+            assert serial.test(norm="l1") == parallel.test(norm="l1")
+
+    def test_fleet_maintainer_touches_only_dirty_members(self):
+        with ParallelExecutor(2, plan=ShardPlan(2)) as executor:
+            maintainer = FleetMaintainer(
+                3, 64, 4, reservoir_capacity=256, rng=1, executor=executor
+            )
+            rng = np.random.default_rng(11)
+            for member in range(3):
+                maintainer.update_many(member, rng.integers(0, 64, size=300))
+            first = maintainer.test(norm="l2")
+            compiled_before = [
+                dict(maintainer.fleet.session(f)._bundle._tester_compiled_cache)
+                for f in range(3)
+            ]
+            # Touch only member 1; the quiet members' compiled sketches
+            # (and memos) must survive the next probe untouched.
+            maintainer.update_many(1, rng.integers(0, 64, size=50))
+            second = maintainer.test(norm="l2")
+            compiled_after = [
+                dict(maintainer.fleet.session(f)._bundle._tester_compiled_cache)
+                for f in range(3)
+            ]
+            for member in (0, 2):
+                for key, compiled in compiled_before[member].items():
+                    assert compiled_after[member][key] is compiled
+            for key, compiled in compiled_before[1].items():
+                assert compiled_after[1][key] is not compiled
+            assert len(first) == len(second) == 3

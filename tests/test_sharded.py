@@ -1,0 +1,232 @@
+"""Tests for repro.samples.sharded — mergeable shard sketches.
+
+The binding property: for ANY shard count, merged arrays and prefix
+rows are bit-equal to the monolithic sort and dense counting paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.samples.collision import (
+    CollisionSketch,
+    batched_interval_prefixes,
+    dense_interval_prefixes,
+)
+from repro.samples.sample_set import SampleSet
+from repro.samples.sharded import (
+    ShardedSketch,
+    combine_dense_parts,
+    combine_shard_parts,
+    compile_shard_part,
+    compile_shard_part_dense,
+    shard_chunks,
+    sharded_interval_prefixes,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestShardChunks:
+    def test_deterministic_even_split(self):
+        values = np.arange(10)
+        chunks = shard_chunks(values, 3)
+        assert [c.tolist() for c in chunks] == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_more_shards_than_values(self):
+        chunks = shard_chunks(np.array([5, 1]), 4)
+        assert len(chunks) == 4
+        assert sum(c.size for c in chunks) == 2
+
+    def test_empty_array(self):
+        chunks = shard_chunks(np.array([], dtype=np.int64), 3)
+        assert len(chunks) == 3
+        assert all(c.size == 0 for c in chunks)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(InvalidParameterError):
+            shard_chunks(np.arange(4), 0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(InvalidParameterError):
+            shard_chunks(np.zeros((2, 2)), 2)
+
+
+class TestShardedSketch:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7, 16])
+    def test_merge_equals_monolithic_sort(self, rng, num_shards):
+        values = rng.integers(0, 40, size=123)
+        sketch = ShardedSketch.from_array(values, 40, num_shards)
+        assert np.array_equal(
+            sketch.merge(), np.sort(values.astype(np.int64))
+        )
+        assert sketch.size == values.size
+        assert sketch.num_shards == num_shards
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_count_prefix_matches_sample_set(self, rng, num_shards):
+        values = rng.integers(0, 30, size=200)
+        grid = np.unique(rng.integers(0, 31, size=10))
+        sharded = ShardedSketch.from_array(values, 30, num_shards)
+        mono = SampleSet(values, 30)
+        assert np.array_equal(
+            sharded.count_prefix_on_grid(grid), mono.count_prefix_on_grid(grid)
+        )
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_merge_prefixes_match_collision_sketch(self, rng, num_shards):
+        values = rng.integers(0, 30, size=200)
+        grid = np.unique(np.concatenate(([0, 30], rng.integers(0, 31, size=10))))
+        sharded = ShardedSketch.from_array(values, 30, num_shards)
+        mono = CollisionSketch(values, 30)
+        counts, pairs = sharded.merge_prefixes(grid)
+        ref_counts, ref_pairs = mono.prefixes_on_grid(grid)
+        assert np.array_equal(counts, ref_counts)
+        assert np.array_equal(pairs, ref_pairs)
+
+    def test_presorted_accepted_and_checked(self):
+        sketch = ShardedSketch(
+            [np.array([1, 2, 3]), np.array([0, 5])], 8, presorted=True
+        )
+        assert np.array_equal(sketch.merge(), np.array([0, 1, 2, 3, 5]))
+        with pytest.raises(InvalidParameterError):
+            ShardedSketch([np.array([3, 1])], 8, presorted=True)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ShardedSketch([], 8)
+        with pytest.raises(InvalidParameterError):
+            ShardedSketch([np.array([9])], 8)
+        with pytest.raises(InvalidParameterError):
+            ShardedSketch([np.zeros((2, 2))], 8)
+
+    def test_shards_are_read_only(self):
+        sketch = ShardedSketch.from_array(np.array([3, 1, 2]), 4, 2)
+        with pytest.raises(ValueError):
+            sketch.shards[0][0] = 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_merge_property(self, raw, num_shards):
+        values = np.array(raw, dtype=np.int64)
+        sketch = ShardedSketch.from_array(values, 10, num_shards)
+        assert np.array_equal(sketch.merge(), np.sort(values))
+        grid = np.arange(11)
+        counts, pairs = sketch.merge_prefixes(grid)
+        if values.size:
+            mono = CollisionSketch(values, 10)
+            ref_counts, ref_pairs = mono.prefixes_on_grid(grid)
+            assert np.array_equal(counts, ref_counts)
+            assert np.array_equal(pairs, ref_pairs)
+        else:
+            assert not counts.any() and not pairs.any()
+
+
+class TestShardParts:
+    def test_sparse_parts_combine(self, rng):
+        n, grid = 25, np.arange(26)
+        values = rng.integers(0, 25, size=90)
+        chunks = shard_chunks(values, 4)
+        parts = [compile_shard_part(chunk, n, grid) for chunk in chunks]
+        counts, pairs = combine_shard_parts(parts, grid)
+        ref = CollisionSketch(values, n).prefixes_on_grid(grid)
+        assert np.array_equal(counts, ref[0])
+        assert np.array_equal(pairs, ref[1])
+
+    def test_dense_parts_combine(self, rng):
+        n, grid = 25, np.arange(26)
+        values = rng.integers(0, 25, size=90)
+        chunks = shard_chunks(values, 4)
+        parts = [compile_shard_part_dense(chunk, n) for chunk in chunks]
+        counts, pairs = combine_dense_parts(parts, grid)
+        ref = CollisionSketch(values, n).prefixes_on_grid(grid)
+        assert np.array_equal(counts, ref[0])
+        assert np.array_equal(pairs, ref[1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            compile_shard_part(np.array([7]), 7, np.array([0, 7]))
+        with pytest.raises(InvalidParameterError):
+            compile_shard_part_dense(np.array([-1]), 7)
+
+
+class TestShardedIntervalPrefixes:
+    """The r-set builder must match both monolithic builders bit for bit."""
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    @pytest.mark.parametrize("dense", [True, False, None])
+    def test_matches_batched_builder(self, rng, num_shards, dense):
+        n = 40
+        sets = [rng.integers(0, n, size=size) for size in (0, 1, 55, 300)]
+        grid = np.unique(np.concatenate(([0, n], rng.integers(0, n + 1, size=9))))
+        got_counts, got_pairs = sharded_interval_prefixes(
+            sets, n, grid, num_shards=num_shards, dense=dense
+        )
+        ref_counts, ref_pairs = batched_interval_prefixes(sets, n, grid)
+        assert got_counts.dtype == np.int64 and got_counts.flags.c_contiguous
+        assert np.array_equal(got_counts, ref_counts)
+        assert np.array_equal(got_pairs, ref_pairs)
+
+    def test_matches_dense_builder_on_full_grid(self, rng):
+        n = 12
+        sets = [rng.integers(0, n, size=80) for _ in range(3)]
+        got = sharded_interval_prefixes(sets, n, np.arange(n + 1), num_shards=5)
+        ref = dense_interval_prefixes(sets, n)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+    def test_custom_mapper_is_used_in_order(self, rng):
+        n = 10
+        sets = [rng.integers(0, n, size=30) for _ in range(2)]
+        calls = []
+
+        def mapper(fn, tasks):
+            calls.append(len(tasks))
+            return [fn(task) for task in tasks]
+
+        got = sharded_interval_prefixes(
+            sets, n, np.arange(n + 1), num_shards=3, mapper=mapper
+        )
+        assert calls == [6]  # 2 sets x 3 shards, one batch
+        ref = dense_interval_prefixes(sets, n)
+        assert np.array_equal(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+    def test_no_sets(self):
+        counts, pairs = sharded_interval_prefixes([], 5, np.arange(6), num_shards=2)
+        assert counts.shape == (0, 6) and pairs.shape == (0, 6)
+
+    @pytest.mark.parametrize("dense", [True, False])
+    def test_pair_only_mode(self, rng, dense):
+        """counts=False: identical pair rows, no hit rows computed (and,
+        on the sparse path, no grid shipped to the shard tasks)."""
+        n = 40
+        sets = [rng.integers(0, n, size=120) for _ in range(3)]
+        grid = np.unique(rng.integers(0, n + 1, size=9))
+        seen_grids = []
+
+        def mapper(fn, tasks):
+            seen_grids.extend(task[-1] for task in tasks if len(task) == 3)
+            return [fn(task) for task in tasks]
+
+        counts, pairs = sharded_interval_prefixes(
+            sets, n, grid, num_shards=4, dense=dense, counts=False, mapper=mapper
+        )
+        assert counts is None
+        ref = batched_interval_prefixes(sets, n, grid)
+        assert np.array_equal(pairs, ref[1])
+        if not dense:
+            assert seen_grids and all(task_grid is None for task_grid in seen_grids)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sharded_interval_prefixes([np.array([1])], 5, np.array([0, 9]))
