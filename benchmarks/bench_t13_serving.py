@@ -1,0 +1,123 @@
+"""T13 — serving: coalesced vs request-at-a-time on a skewed workload.
+
+The serving claim (README.md, "Serving"): replaying the seeded
+64-stream refresh-storm workload through :class:`repro.serving.HistogramService`
+with coalescing on (``max_batch`` deep admission windows folded into
+fleet batch ops) must beat the request-at-a-time reference
+(``max_batch=1`` — the *same* code path, windows of one) on
+throughput, byte-identical responses included.  Kernels come in
+``<name>`` / ``<name>_serial`` pairs that feed ``BENCH_serve.json``
+via ``benchmarks/record_serving_bench.py``; each kernel's replay
+report (p50/p99 latency, throughput) rides along as
+``extra_info``.
+
+The workload (``repro.serving.WorkloadConfig``): Pareto-skewed
+popularity over 64 streams, periodic refresh storms (an ingest wave
+over a popularity-sampled cohort, then a probe wave re-probing it —
+mostly ``min_k`` sweeps, some ``test`` / ``uniformity``), closed-loop
+replay with enough concurrent clients to keep admission windows full.
+Learn chains are pinned off here: ``learn`` is batch-neutral (greedy
+rounds dominate; nothing amortises across members), so it measures
+the same in both modes and only dilutes the pair — the conformance
+suite, not the bench, covers it.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized workload (8 streams,
+tiny trace, ``max_batch=16``) — same code, minutes down to seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from functools import lru_cache
+
+from repro.serving import (
+    HistogramService,
+    ServiceConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    replay,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+if SMOKE:
+    STREAMS, REQUESTS, CLIENTS, MAX_BATCH = 8, 64, 16, 16
+    WARMUP_BATCH = 512
+else:
+    STREAMS, REQUESTS, CLIENTS, MAX_BATCH = 64, 768, 160, 160
+    WARMUP_BATCH = 4096
+
+WORKLOAD = WorkloadConfig(
+    streams=STREAMS,
+    requests=REQUESTS,
+    seed=0,
+    n=4_096,
+    k=8,
+    epsilon=0.3,
+    mix=(
+        ("ingest", 2.0),
+        ("test", 1.5),
+        ("min_k", 8.0),
+        ("uniformity", 0.3),
+        ("selectivity", 0.0),
+        ("learn", 0.0),
+    ),
+    alpha=1.2,
+    l1_fraction=0.0,
+    chain_after_test=0.0,
+    burst_every=160,
+    burst_len=128,
+    ingest_batch=48,
+    warmup_batch=WARMUP_BATCH,
+)
+
+
+@lru_cache(maxsize=None)
+def _trace():
+    """The seeded event list (cached; both kernels replay the same)."""
+    return WorkloadGenerator(WORKLOAD).trace()
+
+
+def _replay(max_batch: int):
+    """One full replay through a fresh service at the given window."""
+
+    async def run():
+        service = HistogramService(
+            WorkloadGenerator(WORKLOAD).stream_names,
+            WORKLOAD.n,
+            WORKLOAD.k,
+            WORKLOAD.epsilon,
+            config=ServiceConfig(
+                max_batch=max_batch, max_linger_us=500.0, max_queue=4_096
+            ),
+            rng=WORKLOAD.seed,
+        )
+        async with service:
+            return await replay(service, _trace(), clients=CLIENTS)
+
+    return asyncio.run(run())
+
+
+def _record(benchmark, report) -> None:
+    benchmark.extra_info["p50_us"] = round(report.p50_us, 1)
+    benchmark.extra_info["p99_us"] = round(report.p99_us, 1)
+    benchmark.extra_info["throughput_rps"] = round(report.throughput_rps, 1)
+
+
+def test_serve_storm_64(benchmark):
+    """The skewed storm workload, coalesced (the headline kernel)."""
+    report = benchmark.pedantic(
+        lambda: _replay(MAX_BATCH), rounds=3, iterations=1, warmup_rounds=1
+    )
+    _record(benchmark, report)
+    assert report.ok == report.requests  # every request answered, no errors
+
+
+def test_serve_storm_64_serial(benchmark):
+    """The same workload request-at-a-time (``max_batch=1``)."""
+    report = benchmark.pedantic(
+        lambda: _replay(1), rounds=3, iterations=1, warmup_rounds=1
+    )
+    _record(benchmark, report)
+    assert report.ok == report.requests

@@ -199,19 +199,24 @@ class HistogramFleet:
         engine: str | None = None,
         params: GreedyParams | None = None,
         max_candidates: int | None = None,
+        members: "Sequence[int] | None" = None,
     ) -> list[LearnResult]:
-        """Learn a near-optimal k-histogram for every member.
+        """Learn a near-optimal k-histogram per member, batched.
 
-        Pools are grown for all members first (one planned pass), then
-        members missing a compiled grid for this configuration are
+        Pools are grown for all listed members first (one planned pass),
+        then members missing a compiled grid for this configuration are
         compiled through the sort-free dense builder and planted into
         their sessions' caches; the greedy rounds themselves run through
         :meth:`HistogramSession.learn`, so results are the session's
-        results, byte for byte.
+        results, byte for byte.  ``members`` restricts the op to a
+        subset of the fleet (results come back in the listed order) —
+        the entry point serving batches and partial maintainer rebuilds
+        coalesce into.
         """
         method = self._method if method is None else method
         if max_candidates is None:
             max_candidates = self._max_candidates
+        members = self._members(members)
         resolved = self._sessions[0]._learn_params(k, epsilon, params)
         key = (
             method,
@@ -229,7 +234,8 @@ class HistogramFleet:
             <= 4 * resolved.collision_sets * resolved.collision_set_size
             else "sorted"
         )
-        for session in self._sessions:
+        for member in members:
+            session = self._sessions[member]
             bundle = session._bundle
             samples = bundle.learn_samples(resolved)
             if key in bundle._compiled_cache:
@@ -248,7 +254,7 @@ class HistogramFleet:
                 compiled=compiled,
             )
         return [
-            session.learn(
+            self._sessions[member].learn(
                 k,
                 epsilon,
                 method=method,
@@ -256,7 +262,7 @@ class HistogramFleet:
                 params=params,
                 max_candidates=max_candidates,
             )
-            for session in self._sessions
+            for member in members
         ]
 
     def prefetch_learn(

@@ -31,6 +31,7 @@ and maintainers.
 from __future__ import annotations
 
 import multiprocessing
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -73,6 +74,55 @@ class ShardPlan:
         return f"ShardPlan(num_shards={self._num_shards})"
 
 
+class _ExecutorState:
+    """Everything a dead executor must give back to the OS.
+
+    Split out of :class:`ParallelExecutor` so a ``weakref.finalize``
+    callback can reap it without holding (and so immortalising) the
+    executor itself.  The finalizer doubles as an ``atexit`` hook — the
+    stdlib runs any still-pending finalizers at interpreter shutdown —
+    so even an executor that is *never* collected (a crashed server's
+    module global, say) stops stranding fork-pool workers and
+    ``/dev/shm`` segments.
+    """
+
+    __slots__ = ("pool", "segments", "scratch", "retired", "closed")
+
+    def __init__(self) -> None:
+        self.pool: ProcessPoolExecutor | None = None
+        self.segments: list = []
+        self.scratch: dict = {}
+        self.retired: list = []
+        self.closed = False
+
+
+def _reap_executor(state: _ExecutorState) -> None:
+    """Shut one executor's pool down and release its shared segments.
+
+    The body of :meth:`ParallelExecutor.close`, shared with the
+    GC/atexit safety net.  Idempotent: the first call wins, later calls
+    (explicit ``close`` after a finalizer, or vice versa) are no-ops.
+    """
+    if state.closed:
+        return
+    state.closed = True
+    if state.pool is not None:
+        state.pool.shutdown(wait=True)
+        state.pool = None
+    for segment in state.segments + state.retired:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - live array views remain
+            pass
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+    state.segments = []
+    state.scratch = {}
+    state.retired = []
+
+
 class ParallelExecutor:
     """Deterministic fan-out over a process pool (``workers=1`` = inline).
 
@@ -95,6 +145,13 @@ class ParallelExecutor:
     ``map`` preserves task order and runs every task exactly once, so a
     parallel run is a reordering of the same arithmetic — results are
     combined positionally by the callers, never by completion order.
+
+    Lifecycle: :meth:`close` (or the context manager) is still the
+    polite way out, but an executor that is dropped without it — a
+    crashed server, an abandoned session — is reaped by a
+    ``weakref.finalize`` safety net that shuts the fork pool down and
+    unlinks every shared segment, at collection time or at interpreter
+    exit, whichever comes first.
     """
 
     def __init__(
@@ -115,11 +172,8 @@ class ParallelExecutor:
         self._workers = int(workers)
         self._plan = plan if plan is not None else ShardPlan(self._workers)
         self._resolve_min_batch = int(resolve_min_batch)
-        self._pool: ProcessPoolExecutor | None = None
-        self._segments: list = []
-        self._scratch: dict = {}
-        self._retired: list = []
-        self._closed = False
+        self._state = _ExecutorState()
+        self._finalizer = weakref.finalize(self, _reap_executor, self._state)
 
     # -------------------------------------------------------------- #
     # introspection
@@ -145,6 +199,14 @@ class ParallelExecutor:
         """Smallest flatness-miss batch shipped to the pool."""
         return self._resolve_min_batch
 
+    @property
+    def _closed(self) -> bool:
+        return self._state.closed
+
+    @property
+    def _segments(self) -> list:
+        return self._state.segments
+
     # -------------------------------------------------------------- #
     # execution
     # -------------------------------------------------------------- #
@@ -168,17 +230,17 @@ class ParallelExecutor:
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._closed:
             raise InvalidParameterError("executor is closed")
-        if self._pool is None:
+        if self._state.pool is None:
             methods = multiprocessing.get_all_start_methods()
             # fork shares the parent's read-only state for free and
             # starts in milliseconds; spawn is the portable fallback.
             context = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
             )
-            self._pool = ProcessPoolExecutor(
+            self._state.pool = ProcessPoolExecutor(
                 max_workers=self._workers, mp_context=context
             )
-        return self._pool
+        return self._state.pool
 
     # -------------------------------------------------------------- #
     # shared-memory slabs
@@ -199,7 +261,7 @@ class ParallelExecutor:
         if self._closed:
             raise InvalidParameterError("executor is closed")
         segment, array, slab = create_slab(shape, dtype, zero=True)
-        self._segments.append(segment)
+        self._state.segments.append(segment)
         return array, slab
 
     def scratch(
@@ -218,9 +280,9 @@ class ParallelExecutor:
             raise InvalidParameterError("executor is closed")
         dtype = np.dtype(dtype)
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
-        segment = self._scratch.get(key)
+        segment = self._state.scratch.get(key)
         if segment is not None and segment.size < nbytes:
-            self._segments.remove(segment)
+            self._state.segments.remove(segment)
             try:
                 segment.close()
             except BufferError:  # pragma: no cover - live array views remain
@@ -232,8 +294,8 @@ class ParallelExecutor:
             segment = None
         if segment is None:
             segment = create_slab(shape, dtype, zero=False)[0]
-            self._scratch[key] = segment
-            self._segments.append(segment)
+            self._state.scratch[key] = segment
+            self._state.segments.append(segment)
         array = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
         return array, SharedSlab(segment.name, tuple(shape), dtype.str)
 
@@ -251,15 +313,16 @@ class ParallelExecutor:
         """
         if self._closed:
             return
+        state = self._state
         for slab in slabs:
             if slab is None:
                 continue
             segment = next(
-                (s for s in self._segments if s.name == slab.name), None
+                (s for s in state.segments if s.name == slab.name), None
             )
             if segment is None:
                 continue
-            self._segments.remove(segment)
+            state.segments.remove(segment)
             try:
                 segment.unlink()
             except (FileNotFoundError, OSError):  # pragma: no cover
@@ -267,44 +330,27 @@ class ParallelExecutor:
             try:
                 segment.close()
             except BufferError:  # pragma: no cover - live array views remain
-                self._retired.append(segment)
+                state.retired.append(segment)
 
     # -------------------------------------------------------------- #
     # lifecycle
     # -------------------------------------------------------------- #
 
     def close(self) -> None:
-        """Shut the pool down and release every shared segment."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        for segment in self._segments + self._retired:
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - live array views remain
-                pass
-            try:
-                segment.unlink()
-            except (FileNotFoundError, OSError):  # pragma: no cover
-                pass
-        self._segments = []
-        self._scratch = {}
-        self._retired = []
+        """Shut the pool down and release every shared segment.
+
+        Idempotent, and interchangeable with the GC safety net: an
+        executor dropped without ``close()`` is reaped by its
+        ``weakref.finalize`` (at collection or interpreter exit), and a
+        ``close()`` after that is a no-op.
+        """
+        self._finalizer()
 
     def __enter__(self) -> "ParallelExecutor":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
-        try:
-            self.close()
-        except Exception:
-            pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

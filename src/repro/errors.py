@@ -46,3 +46,30 @@ class EmptyStreamError(InvalidParameterError):
     catch the broader class keep working, while new code can handle the
     probe-too-early case precisely instead of seeing a stale-pool
     failure from deeper in the sampling stack."""
+
+
+class UnknownStreamError(InvalidParameterError):
+    """A serving request named a stream the service does not host.
+
+    Subclasses :class:`InvalidParameterError` for the same reason
+    :class:`EmptyStreamError` does: broad handlers keep working, while
+    the serving layer maps this case to its own structured error code."""
+
+
+class OverloadedError(ReproError):
+    """The serving admission queue is full; the request was rejected.
+
+    Carries ``retry_after`` (seconds), the service's hint for when the
+    caller should resubmit.  This is an *admission* failure — nothing
+    about the request itself is wrong, and resubmitting later is always
+    legitimate."""
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ServiceClosedError(ReproError):
+    """A request was submitted to a serving layer that is draining or
+    has shut down.  Unlike :class:`OverloadedError` there is no point
+    retrying against the same service instance."""

@@ -1,0 +1,588 @@
+"""`HistogramService`: request coalescing over a maintained fleet.
+
+The fleet layers answer *batches* fast — pooled draws, stacked sort-free
+compiles, lockstep Algorithm-2 searches — but a serving deployment
+receives *requests*: concurrent connections each asking one question of
+one named stream.  This module is the layer between the two:
+
+* **admission** — :meth:`HistogramService.submit` validates the stream
+  name and enqueues the request on a bounded admission queue; a full
+  queue is an explicit :class:`~repro.errors.OverloadedError` with a
+  ``retry_after`` hint (backpressure, not silent buffering).
+* **coalescing** — a single collector task drains the queue in windows
+  (up to ``max_batch`` requests, lingering at most ``max_linger_us``
+  for stragglers once one request is in hand) and partitions each
+  window into *hazard-safe* batches: requests sharing an operation
+  signature fan into one :class:`~repro.streaming.FleetMaintainer`
+  batch op, while requests on the same stream never reorder across a
+  different-signature request (their pool draws interleave on the
+  member's private generator, so cross-signature order is what keeps
+  results replayable).  Duplicate in-window requests share one
+  execution.
+* **backpressure-safe shutdown** — :meth:`close` stops admission
+  (later submits raise :class:`~repro.errors.ServiceClosedError`),
+  drains the backlog, and closes the executor the service owns.
+
+The binding contract mirrors every engine PR before it: for any
+``(max_batch, max_linger_us, workers)`` choice, the canonical response
+trace (:func:`repro.serving.requests.canonical`) is **byte-identical**
+to request-at-a-time serving (``max_batch=1``) of the same admission
+order — verdicts, histograms, and flatness query logs included.  The
+speedup is real but free of semantics: ``BENCH_serve.json`` tracks it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.shard import ParallelExecutor
+from repro.core.params import GreedyParams, TesterParams
+from repro.errors import (
+    EmptyStreamError,
+    InvalidParameterError,
+    OverloadedError,
+    ReproError,
+    ServiceClosedError,
+    UnknownStreamError,
+)
+from repro.histograms.intervals import Interval
+from repro.serving.requests import OPS, Request, Response, error_response
+from repro.streaming.fleet import FleetMaintainer
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The serving layer's knobs.
+
+    Attributes
+    ----------
+    max_batch:
+        Largest admission window (and so largest fleet batch) the
+        coalescer forms.  ``1`` disables coalescing — the
+        request-at-a-time reference the conformance suite compares
+        against.
+    max_linger_us:
+        After the first request of a window arrives, how long (in
+        microseconds) the coalescer waits for stragglers before
+        serving a short window.  ``0`` serves whatever is already
+        queued without waiting.
+    max_queue:
+        Admission queue bound; a submit beyond it is rejected with
+        :class:`~repro.errors.OverloadedError`.
+    retry_after_s:
+        The backoff hint (seconds) carried by overload rejections.
+    """
+
+    max_batch: int = 32
+    max_linger_us: float = 500.0
+    max_queue: int = 1024
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if int(self.max_batch) != self.max_batch or self.max_batch < 1:
+            raise InvalidParameterError(
+                f"max_batch must be a positive integer, got {self.max_batch!r}"
+            )
+        if self.max_linger_us < 0:
+            raise InvalidParameterError(
+                f"max_linger_us must be >= 0, got {self.max_linger_us!r}"
+            )
+        if int(self.max_queue) != self.max_queue or self.max_queue < 1:
+            raise InvalidParameterError(
+                f"max_queue must be a positive integer, got {self.max_queue!r}"
+            )
+        if self.retry_after_s < 0:
+            raise InvalidParameterError(
+                f"retry_after_s must be >= 0, got {self.retry_after_s!r}"
+            )
+
+
+class HistogramService:
+    """Asyncio front end over a :class:`~repro.streaming.FleetMaintainer`.
+
+    Parameters
+    ----------
+    streams:
+        The hosted stream names, one fleet member each (order fixes the
+        member indices).
+    n / k / epsilon:
+        The shared domain size and the maintainer's default operating
+        point, as in :class:`~repro.streaming.FleetMaintainer`.
+    config:
+        The :class:`ServiceConfig` batching/backpressure knobs.
+    references:
+        Named reference distributions identity requests resolve against
+        (``Request.identity(stream, "baseline", ...)``); more can be
+        registered later via :meth:`register_reference`.
+    workers:
+        ``> 1`` builds a :class:`~repro.api.ParallelExecutor` the
+        service *owns* — member compiles fan across its fork pool, and
+        :meth:`close` shuts it down.  Mutually exclusive with
+        ``executor``.
+    executor:
+        A caller-owned executor to share instead; the service will not
+        close it.
+    reservoir_capacity / refresh_every / params / engine /
+    tester_engine / rng:
+        Forwarded to the maintainer.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`close` explicitly.  All execution happens on the event-loop
+    thread — the service is a batching layer, not a thread pool; its
+    concurrency win is turning queued requests into fleet ops.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[str],
+        n: int,
+        k: int,
+        epsilon: float = 0.25,
+        *,
+        config: ServiceConfig | None = None,
+        references: "Mapping[str, object] | None" = None,
+        workers: int = 1,
+        executor: "ParallelExecutor | None" = None,
+        reservoir_capacity: int = 4096,
+        refresh_every: int | None = None,
+        params: GreedyParams | None = None,
+        tester_params: TesterParams | None = None,
+        engine: str = "incremental",
+        tester_engine: str = "compiled",
+        rng: "int | None | np.random.Generator" = None,
+    ) -> None:
+        streams = list(streams)
+        if not streams:
+            raise InvalidParameterError("HistogramService needs at least one stream")
+        if len(set(streams)) != len(streams):
+            raise InvalidParameterError("stream names must be unique")
+        if workers != 1 and executor is not None:
+            raise InvalidParameterError("pass workers or executor, not both")
+        self._names = streams
+        self._index = {name: member for member, name in enumerate(streams)}
+        self._config = config if config is not None else ServiceConfig()
+        self._references = dict(references) if references else {}
+        self._owns_executor = executor is None and workers > 1
+        self._executor = (
+            ParallelExecutor(workers) if self._owns_executor else executor
+        )
+        self._maintainer = FleetMaintainer(
+            len(streams),
+            n,
+            k,
+            epsilon,
+            reservoir_capacity=reservoir_capacity,
+            refresh_every=refresh_every,
+            params=params,
+            engine=engine,
+            tester_engine=tester_engine,
+            rng=rng,
+            executor=self._executor,
+        )
+        self._tester_params = tester_params
+        self._n = int(n)
+        self._queue: asyncio.Queue | None = None
+        self._collector: asyncio.Task | None = None
+        self._accepting = False
+        self._stats = {
+            "submitted": 0,
+            "served": 0,
+            "rejected": 0,
+            "windows": 0,
+            "batches": 0,
+            "coalesced": 0,
+            "largest_batch": 0,
+        }
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+
+    @property
+    def streams(self) -> list[str]:
+        """The hosted stream names, in member order."""
+        return list(self._names)
+
+    @property
+    def maintainer(self) -> FleetMaintainer:
+        """The underlying fleet maintainer (reservoirs, summaries)."""
+        return self._maintainer
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The batching/backpressure knobs."""
+        return self._config
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Serving counters: submitted/served/rejected/batches/..."""
+        return dict(self._stats)
+
+    def register_reference(self, name: str, reference: object) -> None:
+        """Register a named reference for identity requests."""
+        self._references[name] = reference
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    async def start(self) -> "HistogramService":
+        """Create the admission queue and the collector task."""
+        if self._collector is not None:
+            raise InvalidParameterError("service already started")
+        self._queue = asyncio.Queue(maxsize=self._config.max_queue)
+        self._collector = asyncio.get_running_loop().create_task(
+            self._collect(), name="repro-serve-collector"
+        )
+        self._accepting = True
+        return self
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop admission, then drain (or abandon) the backlog.
+
+        ``drain=True`` (the default) serves every already-admitted
+        request before returning; ``drain=False`` cancels the collector
+        and fails pending requests with
+        :class:`~repro.errors.ServiceClosedError`.  Either way the
+        service's own executor (``workers > 1`` at construction) is
+        closed — its fork-pool workers and shared-memory slabs do not
+        outlive the service.  Idempotent.
+        """
+        self._accepting = False
+        if self._collector is not None:
+            if drain:
+                await self._queue.put(_STOP)
+                await self._collector
+            else:
+                self._collector.cancel()
+                try:
+                    await self._collector
+                except asyncio.CancelledError:
+                    pass
+                while not self._queue.empty():
+                    entry = self._queue.get_nowait()
+                    if entry is _STOP:
+                        continue
+                    _, future = entry
+                    if not future.done():
+                        future.set_exception(
+                            ServiceClosedError("service closed before serving")
+                        )
+            self._collector = None
+            self._queue = None
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+
+    async def __aenter__(self) -> "HistogramService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -------------------------------------------------------------- #
+    # admission
+    # -------------------------------------------------------------- #
+
+    async def submit(self, request: Request) -> Response:
+        """Admit one request and await its structured response.
+
+        Request-level failures (unknown stream, quiet stream, invalid
+        parameters) come back as error :class:`Response` objects;
+        *admission*-level failures raise —
+        :class:`~repro.errors.OverloadedError` with a ``retry_after``
+        hint when the queue is full,
+        :class:`~repro.errors.ServiceClosedError` once shutdown began.
+        """
+        if not self._accepting or self._queue is None:
+            raise ServiceClosedError("service is not accepting requests")
+        self._stats["submitted"] += 1
+        if request.stream not in self._index:
+            self._stats["served"] += 1
+            return error_response(
+                request,
+                UnknownStreamError(
+                    f"unknown stream {request.stream!r} (service hosts "
+                    f"{len(self._index)} streams)"
+                ),
+            )
+        if request.op not in OPS:
+            # Rejected at admission: a hand-built Request with a bogus
+            # op must not reach the coalescer (signature would raise
+            # mid-window and strand the rest of the backlog).
+            self._stats["served"] += 1
+            return error_response(
+                request,
+                InvalidParameterError(
+                    f"unknown op {request.op!r} (one of {', '.join(OPS)})"
+                ),
+            )
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request, future))
+        except asyncio.QueueFull:
+            self._stats["rejected"] += 1
+            raise OverloadedError(
+                f"admission queue full ({self._config.max_queue} requests)",
+                retry_after=self._config.retry_after_s,
+            ) from None
+        return await future
+
+    # -------------------------------------------------------------- #
+    # the collector
+    # -------------------------------------------------------------- #
+
+    async def _collect(self) -> None:
+        """Drain admission windows until the shutdown sentinel arrives."""
+        config = self._config
+        linger_s = config.max_linger_us / 1e6
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._queue.get()
+            if entry is _STOP:
+                return
+            window = [entry]
+            stopping = False
+            if config.max_batch > 1:
+                # Drain synchronously first — already-queued requests
+                # join the window for free; only an *empty* queue spends
+                # linger budget awaiting stragglers (one wait_for per
+                # lull, not per request, so linger measures waiting
+                # rather than task-wrapping overhead).
+                deadline = loop.time() + linger_s
+                while len(window) < config.max_batch:
+                    try:
+                        entry = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        timeout = deadline - loop.time()
+                        if timeout <= 0:
+                            break
+                        try:
+                            entry = await asyncio.wait_for(
+                                self._queue.get(), timeout
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                    if entry is _STOP:
+                        stopping = True
+                        break
+                    window.append(entry)
+            self._serve_window(window)
+            if stopping:
+                return
+
+    def _serve_window(self, window: list) -> None:
+        """Partition one admission window and execute its batches."""
+        self._stats["windows"] += 1
+        for batch in self._plan_batches(window):
+            self._stats["batches"] += 1
+            size = len(batch)
+            self._stats["largest_batch"] = max(self._stats["largest_batch"], size)
+            if size > 1:
+                self._stats["coalesced"] += size
+            self._execute_batch(batch)
+            self._stats["served"] += size
+
+    @staticmethod
+    def _plan_batches(window: list) -> "list[list]":
+        """Split a window into hazard-safe same-signature batches.
+
+        Repeatedly takes the window's oldest unserved request and
+        gathers every later request with the *same signature*, skipping
+        over foreign-signature requests only for streams that have not
+        been blocked.  A request with a different signature blocks its
+        stream for the rest of the pass: same-stream requests never
+        reorder across it, so each executed batch is a permutation of
+        the admission order that preserves every stream's own request
+        sequence — which, with per-member generators, is exactly the
+        invariance the byte-identity contract needs.
+        """
+        batches = []
+        remaining = window
+        while remaining:
+            head_request, _ = remaining[0]
+            signature = head_request.signature
+            batch = []
+            blocked: set[str] = set()
+            rest = []
+            for entry in remaining:
+                request, _ = entry
+                if request.signature == signature and request.stream not in blocked:
+                    batch.append(entry)
+                else:
+                    blocked.add(request.stream)
+                    rest.append(entry)
+            batches.append(batch)
+            remaining = rest
+        return batches
+
+    # -------------------------------------------------------------- #
+    # batch execution
+    # -------------------------------------------------------------- #
+
+    def _execute_batch(self, batch: list) -> None:
+        """Run one same-signature batch and resolve its futures.
+
+        Per-request pre-checks (readiness, reference resolution, range
+        validation) run identically for a 32-request batch and a
+        singleton, so the request-at-a-time reference emits the same
+        structured errors byte for byte.  Library failures of the
+        shared fleet op map to one structured error per affected
+        request; non-library exceptions propagate to the waiting
+        futures unmapped (programming errors should crash loudly).
+        """
+        op = batch[0][0].op
+        try:
+            if op == "ingest":
+                self._execute_ingest(batch)
+            else:
+                self._execute_probe(op, batch)
+        except ReproError as exc:
+            for request, future in batch:
+                if not future.done():
+                    future.set_result(error_response(request, exc))
+        except BaseException as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            raise
+
+    def _execute_ingest(self, batch: list) -> None:
+        """Absorb ingest batches entry by entry, in admission order."""
+        for request, future in batch:
+            member = self._index[request.stream]
+            try:
+                values = np.asarray(request.values)
+                if values.size == 0:
+                    values = values.astype(np.int64)
+                self._maintainer.update_many(member, values)
+            except ReproError as exc:
+                future.set_result(error_response(request, exc))
+            else:
+                future.set_result(
+                    Response(
+                        ok=True,
+                        op="ingest",
+                        stream=request.stream,
+                        result=len(request.values),
+                    )
+                )
+
+    def _execute_probe(self, op: str, batch: list) -> None:
+        """One fleet-batched probe over the batch's distinct streams."""
+        ready = self._maintainer.ready
+        pending: list = []  # entries the shared fleet op will answer
+        members: list[int] = []  # distinct, first-occurrence order
+        seen: dict[str, int] = {}  # stream -> position in `members`
+        head = batch[0][0]
+        for request, future in batch:
+            if request.op == "identity" and request.reference not in self._references:
+                future.set_result(
+                    error_response(
+                        request,
+                        InvalidParameterError(
+                            f"unknown identity reference {request.reference!r}; "
+                            "register it with register_reference()"
+                        ),
+                    )
+                )
+                continue
+            if request.op == "selectivity" and not (
+                0 <= request.start < request.stop <= self._n
+            ):
+                future.set_result(
+                    error_response(
+                        request,
+                        InvalidParameterError(
+                            f"selectivity range [{request.start}, {request.stop}) "
+                            f"outside the domain [0, {self._n})"
+                        ),
+                    )
+                )
+                continue
+            member = self._index[request.stream]
+            if not ready[member]:
+                future.set_result(
+                    error_response(
+                        request,
+                        EmptyStreamError(
+                            f"stream {request.stream!r} has no observations yet; "
+                            "ingest() it first"
+                        ),
+                    )
+                )
+                continue
+            if request.stream not in seen:
+                seen[request.stream] = len(members)
+                members.append(member)
+            pending.append((request, future))
+        if not pending:
+            return
+        results = self._run_probe(op, head, members)
+        for request, future in pending:
+            future.set_result(
+                Response(
+                    ok=True,
+                    op=op,
+                    stream=request.stream,
+                    result=results(request, seen[request.stream]),
+                )
+            )
+
+    def _run_probe(self, op: str, head: Request, members: list[int]):
+        """Dispatch one batch op; returns a per-request result reader."""
+        maintainer = self._maintainer
+        if op == "test":
+            rows = maintainer.test(
+                head.k,
+                head.epsilon,
+                norm=head.norm,
+                params=self._tester_params,
+                members=members,
+            )
+            return lambda request, position: rows[position]
+        if op == "min_k":
+            rows = maintainer.min_k(
+                head.epsilon,
+                max_k=head.max_k,
+                norm=head.norm,
+                params=self._tester_params,
+                members=members,
+            )
+            return lambda request, position: rows[position]
+        if op == "learn":
+            rows = maintainer.learn(head.k, head.epsilon, members=members)
+            return lambda request, position: rows[position]
+        if op == "uniformity":
+            rows = maintainer.uniformity(
+                head.epsilon, params=self._tester_params, members=members
+            )
+            return lambda request, position: rows[position]
+        if op == "identity":
+            rows = maintainer.identity(
+                self._references[head.reference],
+                head.epsilon,
+                params=self._tester_params,
+                members=members,
+            )
+            return lambda request, position: rows[position]
+        if op == "selectivity":
+            histograms = maintainer.histograms_for(members)
+            return lambda request, position: float(
+                histograms[position].range_mass(
+                    Interval(request.start, request.stop)
+                )
+            )
+        raise InvalidParameterError(f"unknown op {op!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HistogramService(streams={len(self._names)}, n={self._n}, "
+            f"max_batch={self._config.max_batch}, "
+            f"served={self._stats['served']})"
+        )

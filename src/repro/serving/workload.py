@@ -1,0 +1,399 @@
+"""A seeded, skewed workload driver for the serving layer.
+
+Real serving traffic is nothing like a uniform sweep: a few hot tenants
+dominate (heavy-tailed popularity), arrivals clump into bursts, and
+clients chain operations ("that test failed — relearn the summary").
+:class:`WorkloadGenerator` reproduces those three structures
+deterministically from a seed:
+
+* **Pareto-skewed popularity** — stream ``rank r`` is drawn with weight
+  ``(r + 1) ** -alpha`` under a seeded rank-to-stream permutation, so
+  the hot set is stable for a seed but not always streams ``0..h``.
+* **temporal bursts** — every ``burst_every`` requests, a *refresh
+  storm* of ``burst_len`` requests arrives with gaps shrunk by
+  ``burst_boost``: a popularity-sampled cohort of distinct streams
+  flushes new observations (an ingest wave) and is then re-probed (a
+  probe wave over the same cohort) — the synchronized
+  tick-then-requery rhythm of dashboard-style serving.
+* **correlated chains** — a ``test`` request is followed, with
+  probability ``chain_after_test``, by a ``learn`` on the same stream
+  with no gap: the pessimistic relearn-on-failure client.  (The chain
+  fires independently of the eventual verdict — a trace is a pure
+  function of the seed, never of service state.)
+
+The trace is a list of ``(at_us, Request)`` events.  Determinism is
+load-bearing twice over: the Hypothesis suite pins byte-identical
+traces per seed (:func:`trace_bytes`), and the conformance suite
+replays one trace through differently-configured services expecting
+byte-identical response logs.
+
+:func:`replay` is the closed-loop driver: ``clients`` concurrent
+submitters share the trace in order (admission order equals trace
+order — each take-and-enqueue happens without yielding to the loop),
+retry overload rejections after the advertised ``retry_after``, and
+record per-request latency into a :class:`ReplayReport` with p50/p99
+and throughput — the numbers ``BENCH_serve.json`` tracks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, OverloadedError
+from repro.serving.requests import Request, Response, canonical
+from repro.serving.service import HistogramService
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """The workload's shape knobs (all defaults are bench-sized down).
+
+    Attributes
+    ----------
+    streams / requests / seed:
+        Fleet width, trace length after warmup, and the seed that
+        fixes everything.
+    n / k / epsilon:
+        The domain and operating point requests assume (must match the
+        service under test).
+    alpha:
+        Pareto popularity exponent; larger concentrates traffic on
+        fewer streams.
+    mix:
+        ``(op, weight)`` pairs for the request mix.  ``identity``
+        requests reference the name in ``reference``; register that
+        distribution on the service before replaying.
+    l1_fraction:
+        Fraction of ``test`` / ``min_k`` requests probing the l1 norm
+        (the rest are l2) — two tester signatures keeps the coalescer
+        honest.
+    chain_after_test:
+        Probability a ``test`` is chained with an immediate ``learn``
+        on the same stream.
+    burst_every / burst_len / burst_boost:
+        Storm period and length (in requests) and the gap-shrink
+        factor inside a storm.  A storm spends its first half as an
+        ingest wave over a popularity-sampled cohort of distinct
+        streams and the rest re-probing that cohort (ops drawn from
+        the probe part of ``mix``).
+    base_gap_us:
+        Mean inter-arrival gap outside bursts, microseconds.
+    ingest_batch:
+        Values per ingest request.
+    warmup:
+        Prefix the trace with one ingest per stream so probes never
+        face an all-quiet fleet.
+    warmup_batch:
+        Values per *warmup* ingest (default ``ingest_batch``).  Sized
+        to the reservoir capacity it pre-fills every stream, so the
+        steady state — full reservoirs, capacity-sized pools — starts
+        at event zero instead of storms in.
+    """
+
+    streams: int = 64
+    requests: int = 512
+    seed: int = 0
+    n: int = 4096
+    k: int = 8
+    epsilon: float = 0.3
+    alpha: float = 1.2
+    mix: tuple = (
+        ("ingest", 5.0),
+        ("test", 3.0),
+        ("selectivity", 2.0),
+        ("learn", 1.0),
+        ("min_k", 0.5),
+        ("uniformity", 0.5),
+        ("identity", 0.0),
+    )
+    l1_fraction: float = 0.2
+    chain_after_test: float = 0.35
+    burst_every: int = 128
+    burst_len: int = 32
+    burst_boost: float = 8.0
+    base_gap_us: float = 200.0
+    ingest_batch: int = 64
+    warmup: bool = True
+    warmup_batch: int | None = None
+    reference: str = "baseline"
+
+    def __post_init__(self) -> None:
+        if self.streams < 1 or self.requests < 0:
+            raise InvalidParameterError(
+                f"need streams >= 1 and requests >= 0, got "
+                f"streams={self.streams}, requests={self.requests}"
+            )
+        if self.alpha <= 0:
+            raise InvalidParameterError(f"alpha must be > 0, got {self.alpha!r}")
+        known = {op for op, _ in self.mix}
+        unknown = known - {
+            "ingest", "learn", "test", "uniformity", "identity",
+            "min_k", "selectivity",
+        }
+        if unknown:
+            raise InvalidParameterError(f"unknown ops in mix: {sorted(unknown)}")
+        if not any(weight > 0 for _, weight in self.mix):
+            raise InvalidParameterError("mix needs at least one positive weight")
+
+
+class WorkloadGenerator:
+    """Deterministic trace factory for one :class:`WorkloadConfig`."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self._config = config
+        width = len(str(max(config.streams - 1, 0)))
+        self._names = [f"s{i:0{width}d}" for i in range(config.streams)]
+        rng = as_rng(config.seed)
+        # Popularity: Pareto weights over ranks, then a seeded
+        # permutation maps ranks onto streams so the hot set is
+        # seed-dependent, not always the first streams.
+        ranks = np.arange(config.streams, dtype=np.float64)
+        weights = (ranks + 1.0) ** -config.alpha
+        weights /= weights.sum()
+        order = rng.permutation(config.streams)
+        popularity = np.empty(config.streams, dtype=np.float64)
+        popularity[order] = weights
+        self._popularity = popularity
+        # Per-stream value model: a hotspot window each stream favours,
+        # so summaries differ across streams and ingests keep
+        # re-shaping them.
+        self._hotspots = rng.integers(0, config.n, size=config.streams)
+        self._hot_width = max(config.n // 32, 1)
+        self._rng = rng
+
+    @property
+    def stream_names(self) -> list[str]:
+        """The stream names the trace addresses, in member order."""
+        return list(self._names)
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Per-stream draw probability (the permuted Pareto weights)."""
+        return self._popularity.copy()
+
+    def _draw_stream(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(len(self._names), p=self._popularity))
+
+    def _draw_values(
+        self, rng: np.random.Generator, member: int, size: "int | None" = None
+    ) -> np.ndarray:
+        """An ingest batch: 70% hotspot window, 30% background."""
+        config = self._config
+        size = config.ingest_batch if size is None else size
+        hot = rng.random(size) < 0.7
+        values = rng.integers(0, config.n, size=size)
+        offsets = rng.integers(0, self._hot_width, size=size)
+        values[hot] = (self._hotspots[member] + offsets[hot]) % config.n
+        return values.astype(np.int64)
+
+    def _draw_range(self, rng: np.random.Generator) -> tuple[int, int]:
+        config = self._config
+        start = int(rng.integers(0, config.n))
+        width = 1 + int(rng.integers(0, max(config.n // 8, 1)))
+        return start, min(start + width, config.n)
+
+    def trace(self) -> "list[tuple[float, Request]]":
+        """The full event list ``[(at_us, request), ...]``, seeded.
+
+        Calling :meth:`trace` twice on one generator returns equal
+        traces (the generator reseeds itself); two generators with
+        equal configs are byte-identical (:func:`trace_bytes`).
+        """
+        config = self._config
+        rng = as_rng(config.seed + 1)
+        events: list[tuple[float, Request]] = []
+        at_us = 0.0
+        if config.warmup:
+            for member, name in enumerate(self._names):
+                events.append(
+                    (
+                        at_us,
+                        Request.ingest(
+                            name,
+                            self._draw_values(rng, member, config.warmup_batch),
+                        ),
+                    )
+                )
+        ops = [op for op, weight in config.mix if weight > 0]
+        weights = np.asarray(
+            [weight for _, weight in config.mix if weight > 0], dtype=np.float64
+        )
+        weights /= weights.sum()
+        probe_ops = [op for op in ops if op != "ingest"]
+        probe_weights = np.asarray(
+            [weight for op, weight in config.mix if weight > 0 and op != "ingest"],
+            dtype=np.float64,
+        )
+        if probe_ops:
+            probe_weights /= probe_weights.sum()
+        cohort: "np.ndarray | None" = None
+        ingest_wave = max(config.burst_len // 2, 1)
+        issued = 0
+        while issued < config.requests:
+            position = issued % max(config.burst_every, 1)
+            in_burst = position < config.burst_len
+            if in_burst and position == 0:
+                # A storm's cohort: distinct streams, hot ones first in
+                # expectation (weighted sampling without replacement).
+                size = min(config.streams, ingest_wave)
+                cohort = rng.choice(
+                    config.streams, size=size, replace=False, p=self._popularity
+                )
+            gap = rng.exponential(config.base_gap_us)
+            if in_burst:
+                gap /= config.burst_boost
+            at_us += gap
+            if in_burst and cohort is not None:
+                member = int(cohort[position % len(cohort)])
+                if position < ingest_wave:
+                    op = "ingest"
+                elif probe_ops:
+                    op = probe_ops[int(rng.choice(len(probe_ops), p=probe_weights))]
+                else:
+                    op = ops[int(rng.choice(len(ops), p=weights))]
+            else:
+                member = self._draw_stream(rng)
+                op = ops[int(rng.choice(len(ops), p=weights))]
+            name = self._names[member]
+            if op == "ingest":
+                request = Request.ingest(name, self._draw_values(rng, member))
+            elif op == "learn":
+                request = Request.learn(name)
+            elif op == "test":
+                norm = "l1" if rng.random() < config.l1_fraction else "l2"
+                request = Request.test(name, norm=norm)
+            elif op == "uniformity":
+                request = Request.uniformity(name)
+            elif op == "identity":
+                request = Request.identity(name, config.reference)
+            elif op == "min_k":
+                norm = "l1" if rng.random() < config.l1_fraction else "l2"
+                request = Request.min_k(name, max_k=2 * config.k, norm=norm)
+            else:  # selectivity
+                start, stop = self._draw_range(rng)
+                request = Request.selectivity(name, start, stop)
+            events.append((at_us, request))
+            issued += 1
+            if op == "test" and rng.random() < config.chain_after_test:
+                # The pessimistic client: relearn right after the test,
+                # same stream, no gap.  Chained learns ride the trace
+                # budget like any other request.
+                events.append((at_us, Request.learn(name)))
+                issued += 1
+        return events
+
+
+def trace_bytes(trace: "list[tuple[float, Request]]") -> bytes:
+    """A byte-stable rendering of a trace (for determinism pins)."""
+    return repr(
+        tuple((at_us, canonical(request)) for at_us, request in trace)
+    ).encode()
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What one closed-loop replay measured."""
+
+    requests: int
+    ok: int
+    errors: "tuple[tuple[str, int], ...]"
+    rejected: int
+    retried: int
+    wall_s: float
+    throughput_rps: float
+    p50_us: float
+    p99_us: float
+    responses: "tuple[Response, ...] | None" = field(default=None, repr=False)
+
+    @property
+    def error_counts(self) -> dict[str, int]:
+        """Taxonomy code -> count, as a dict."""
+        return dict(self.errors)
+
+
+async def replay(
+    service: HistogramService,
+    trace: "list[tuple[float, Request]]",
+    *,
+    clients: int = 16,
+    max_retries: int = 8,
+    collect: bool = False,
+) -> ReplayReport:
+    """Drive ``trace`` through ``service`` with a closed client loop.
+
+    ``clients`` submitters pull the next trace event in order —
+    taking an event and entering ``submit`` happens without yielding,
+    so the *admission* order is exactly the trace order no matter how
+    many clients run; concurrency shows up as how many requests are
+    in flight (and so how much the coalescer can batch), not as
+    reordering.  Overload rejections sleep the advertised
+    ``retry_after`` and retry up to ``max_retries`` times.
+
+    With ``collect=True`` the report carries every response in trace
+    order — the conformance suite's byte-identity input.
+    """
+    if clients < 1:
+        raise InvalidParameterError(f"clients must be >= 1, got {clients}")
+    loop = asyncio.get_running_loop()
+    cursor = 0
+    latencies: list[float] = []
+    responses: "list[Response | None]" = [None] * len(trace) if collect else []
+    ok = 0
+    rejected = 0
+    retried = 0
+    failures: dict[str, int] = {}
+
+    async def client() -> None:
+        nonlocal cursor, ok, rejected, retried
+        while True:
+            if cursor >= len(trace):
+                return
+            index = cursor
+            cursor += 1
+            _, request = trace[index]
+            started = loop.time()
+            response = None
+            attempts = 0
+            while True:
+                try:
+                    response = await service.submit(request)
+                except OverloadedError as exc:
+                    rejected += 1
+                    if attempts >= max_retries:
+                        failures["overloaded"] = failures.get("overloaded", 0) + 1
+                        break
+                    attempts += 1
+                    retried += 1
+                    await asyncio.sleep(exc.retry_after)
+                    continue
+                break
+            latencies.append(loop.time() - started)
+            if response is not None:
+                if collect:
+                    responses[index] = response
+                if response.ok:
+                    ok += 1
+                else:
+                    code = response.error_code
+                    failures[code] = failures.get(code, 0) + 1
+
+    started = loop.time()
+    await asyncio.gather(*(client() for _ in range(min(clients, max(len(trace), 1)))))
+    wall_s = loop.time() - started
+    lat_us = np.asarray(latencies, dtype=np.float64) * 1e6
+    return ReplayReport(
+        requests=len(trace),
+        ok=ok,
+        errors=tuple(sorted(failures.items())),
+        rejected=rejected,
+        retried=retried,
+        wall_s=wall_s,
+        throughput_rps=(len(trace) / wall_s) if wall_s > 0 else float("inf"),
+        p50_us=float(np.percentile(lat_us, 50)) if lat_us.size else 0.0,
+        p99_us=float(np.percentile(lat_us, 99)) if lat_us.size else 0.0,
+        responses=tuple(responses) if collect else None,
+    )

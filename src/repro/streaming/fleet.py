@@ -19,10 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.fleet import HistogramFleet
+from repro.core.identity import IdentityResult, test_identity_l2_on_sketch
 from repro.core.params import GreedyParams, TesterParams
-from repro.core.results import TestResult
+from repro.core.results import LearnResult, TestResult, UniformityResult
 from repro.core.selection import SelectionResult
+from repro.core.uniformity import test_uniformity_on_sketch
 from repro.errors import EmptyStreamError, InvalidParameterError
+from repro.histograms.intervals import Interval
 from repro.histograms.tiling import TilingHistogram
 from repro.streaming.reservoir import ReservoirSampler
 from repro.utils.rng import spawn_rngs
@@ -138,6 +141,16 @@ class FleetMaintainer:
         return self._rebuilds
 
     @property
+    def ready(self) -> list[bool]:
+        """Per-stream flag: has this stream absorbed any observation?
+
+        Probing a not-ready stream raises :class:`EmptyStreamError`; a
+        serving layer checks here first so one quiet stream turns into a
+        structured per-request error instead of poisoning its batch.
+        """
+        return [reservoir.size > 0 for reservoir in self._reservoirs]
+
+    @property
     def fleet(self) -> HistogramFleet:
         """The underlying fleet facade (pools, caches, diagnostics)."""
         return self._fleet
@@ -186,11 +199,27 @@ class FleetMaintainer:
         self._stale[member] = True
 
     def update_many(self, member: int, values: np.ndarray) -> None:
-        """Observe a batch of items on stream ``member``."""
+        """Observe a batch of items on stream ``member``.
+
+        The whole batch is validated up front — dtype and range, in one
+        vectorised pass — so a bad batch raises a single
+        :class:`InvalidParameterError` naming the member and the
+        offending values *before* any item is absorbed (the reservoir
+        never sees half a batch).
+        """
         self._check_member(member)
         values = np.asarray(values)
+        if values.dtype.kind not in "iu":
+            raise InvalidParameterError(
+                f"stream {member}: batch dtype must be integer, got "
+                f"{values.dtype} (values are domain points in [0, {self._n}))"
+            )
         if values.size and (values.min() < 0 or values.max() >= self._n):
-            raise InvalidParameterError("stream values outside the domain")
+            raise InvalidParameterError(
+                f"stream {member}: batch values span "
+                f"[{int(values.min())}, {int(values.max())}], outside the "
+                f"domain [0, {self._n})"
+            )
         self._reservoirs[member].update_many(values)
         self._items_seen[member] += int(values.size)
         self._since_rebuild[member] += int(values.size)
@@ -214,33 +243,38 @@ class FleetMaintainer:
         since their last rebuild (or that never built) relearn in one
         fleet-batched ``learn`` pass; fresh members keep their summary.
         """
-        self._probe_members(None)
+        return self.histograms_for(None)
+
+    def histograms_for(
+        self, members: "list[int] | None" = None
+    ) -> list[TilingHistogram]:
+        """Current summaries for a member subset, in the listed order.
+
+        Due members of the subset (never built, or at least
+        ``refresh_every`` items since their last rebuild) relearn in one
+        fleet-batched ``learn(members=due)`` pass — a partial rebuild
+        pays greedy rounds only for the due streams while still sharing
+        the fleet's pooled draws and stacked compile; fresh members keep
+        their summary untouched.  This is the entry point selectivity
+        serving batches ride.
+        """
+        members = self._probe_members(members)
         due = [
             f
-            for f in range(self.fleet_size)
+            for f in members
             if self._histograms[f] is None
             or self._since_rebuild[f] >= self._refresh_every
         ]
         if due:
             self._sync()
-            if len(due) == self.fleet_size:
-                results = self._fleet.learn(
-                    self._k, self._epsilon, params=self._params
-                )
-            else:
-                # Only a few streams are due: relearn them individually
-                # rather than paying greedy rounds for the whole fleet.
-                results = {
-                    f: self._fleet.session(f).learn(
-                        self._k, self._epsilon, params=self._params
-                    )
-                    for f in due
-                }
-            for f in due:
-                self._histograms[f] = results[f].filled_histogram
+            results = self._fleet.learn(
+                self._k, self._epsilon, params=self._params, members=due
+            )
+            for f, result in zip(due, results):
+                self._histograms[f] = result.filled_histogram
                 self._since_rebuild[f] = 0
                 self._rebuilds += 1
-        return [h for h in self._histograms if h is not None]
+        return [self._histograms[f] for f in members]
 
     def histogram(self, member: int) -> TilingHistogram:
         """One stream's current summary (rebuilding lazily if needed)."""
@@ -330,3 +364,129 @@ class FleetMaintainer:
             engine=engine,
             members=members,
         )
+
+    def learn(
+        self,
+        k: int | None = None,
+        epsilon: float | None = None,
+        *,
+        params: GreedyParams | None = None,
+        members: "list[int] | None" = None,
+    ) -> list[LearnResult]:
+        """Run the greedy learner *now* on a member subset, fleet-batched.
+
+        Defaults to the maintainer's own ``(k, epsilon)``; an explicit
+        pair learns at a different operating point without touching the
+        maintainer's configuration.  When the pair *is* the configured
+        one, each learned summary also refreshes that stream's stored
+        histogram (and resets its rebuild counter) — this is the
+        learn-after-failed-test path a serving client drives.
+        """
+        members = self._probe_members(members)
+        k = self._k if k is None else int(k)
+        epsilon = self._epsilon if epsilon is None else float(epsilon)
+        self._sync()
+        results = self._fleet.learn(
+            k, epsilon, params=params if params is not None else self._params,
+            members=members,
+        )
+        if k == self._k and epsilon == self._epsilon and params is None:
+            for member, result in zip(members, results):
+                self._histograms[member] = result.filled_histogram
+                self._since_rebuild[member] = 0
+                self._rebuilds += 1
+        return results
+
+    def _probe_sketch(self, member: int, params: TesterParams):
+        """One stream's first pooled tester set, sketched and cached.
+
+        Uniformity and identity are whole-domain collision statistics —
+        they read a single :class:`~repro.samples.collision.CollisionSketch`,
+        not the ``r``-set flatness machinery — so the probe consumes the
+        first set of the member's shared test-family pool.  The pool (and
+        its cached :class:`~repro.samples.estimators.MultiSketch` build)
+        is the same one :meth:`test` / :meth:`min_k` draw from, so these
+        probes never cost a separate draw event.
+        """
+        bundle = self._fleet.session(member)._bundle
+        multi = bundle.multi_sketch(params)
+        return multi.sketches[0], bundle.tester_sets(params)[0]
+
+    def uniformity(
+        self,
+        epsilon: float | None = None,
+        *,
+        params: TesterParams | None = None,
+        members: "list[int] | None" = None,
+    ) -> list[UniformityResult]:
+        """[GR00] uniformity verdict per stream, off the shared pool.
+
+        The ``k = 1`` specialist: accepts iff the stream's collision
+        probability sits at the uniform level.  One verdict per listed
+        member; repeated probes between updates are O(1) per member
+        (the sketch build is cached alongside the tester pool).
+        """
+        members = self._probe_members(members)
+        epsilon = self._epsilon if epsilon is None else float(epsilon)
+        self._sync()
+        resolved = self._tester_params(params)
+        return [
+            test_uniformity_on_sketch(
+                self._probe_sketch(member, resolved)[0], epsilon
+            )
+            for member in members
+        ]
+
+    def identity(
+        self,
+        reference: object,
+        epsilon: float | None = None,
+        *,
+        params: TesterParams | None = None,
+        members: "list[int] | None" = None,
+    ) -> list[IdentityResult]:
+        """l2 identity verdict per stream against an explicit reference.
+
+        ``reference`` is the known ``q`` (pmf array, distribution, or
+        histogram) shared by every probed member — the serving pattern
+        is "which tenants still match the baseline profile?".  Reads
+        the same cached whole-domain collision sketch as
+        :meth:`uniformity`.
+        """
+        members = self._probe_members(members)
+        epsilon = self._epsilon if epsilon is None else float(epsilon)
+        self._sync()
+        resolved = self._tester_params(params)
+        results = []
+        for member in members:
+            sketch, samples = self._probe_sketch(member, resolved)
+            results.append(
+                test_identity_l2_on_sketch(sketch, samples, reference, epsilon)
+            )
+        return results
+
+    def selectivity(
+        self,
+        start: int,
+        stop: int,
+        *,
+        members: "list[int] | None" = None,
+    ) -> list[float]:
+        """Estimated mass of ``[start, stop)`` per stream's summary.
+
+        Reads each stream's current histogram through
+        :meth:`histograms_for`, so due members rebuild (fleet-batched)
+        before answering; the range sum itself is a piece-overlap walk,
+        no dense expansion.
+        """
+        start, stop = int(start), int(stop)
+        if not 0 <= start < stop <= self._n:
+            raise InvalidParameterError(
+                f"selectivity range [{start}, {stop}) outside the domain "
+                f"[0, {self._n})"
+            )
+        interval = Interval(start, stop)
+        return [
+            float(histogram.range_mass(interval))
+            for histogram in self.histograms_for(members)
+        ]

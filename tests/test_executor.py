@@ -9,6 +9,8 @@ streaming maintainers' executor passthrough.
 
 from __future__ import annotations
 
+from multiprocessing.shared_memory import SharedMemory
+
 import numpy as np
 import pytest
 
@@ -250,6 +252,53 @@ class TestFleetSlabLifecycle:
             # scratch (1 segment) may persist; the per-fleet stack pairs
             # must not: at most the live round's two could remain.
             assert len(executor._segments) <= 3
+
+    def test_dropped_executor_reaps_its_own_resources(self):
+        """An executor that is dropped without ``close()`` must reap
+        itself: the ``weakref.finalize`` safety net shuts the pool down
+        and releases every shared segment (the /dev/shm strand)."""
+        import gc
+
+        from repro.api import ArraySource, HistogramFleet
+        from repro.core.params import TesterParams
+
+        rng = np.random.default_rng(3)
+        n = 32
+        sources = [ArraySource(rng.integers(0, n, size=1_000), n) for _ in range(2)]
+        executor = ParallelExecutor(2)
+        fleet = HistogramFleet(
+            sources,
+            n,
+            rngs=[0, 1],
+            test_budget=TesterParams(num_sets=3, set_size=300),
+            executor=executor,
+        )
+        fleet.test_l2(2, 0.3)
+        state = executor._state
+        assert state.segments and not state.closed  # slabs really exist
+        names = [segment.name for segment in state.segments]
+        del fleet, executor
+        gc.collect()
+        assert state.closed
+        assert state.pool is None
+        assert state.segments == [] and state.retired == [] and state.scratch == {}
+        for name in names:  # the OS objects are gone, not just our refs
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_explicit_close_then_finalize_is_a_noop(self):
+        """close() and the GC finalizer race idempotently: whichever
+        runs second finds ``closed`` set and does nothing."""
+        executor = ParallelExecutor(2)
+        state = executor._state
+        executor.close()
+        assert state.closed
+        executor.close()  # second explicit close: no-op
+        del executor  # finalizer fires on a closed state: no-op
+        import gc
+
+        gc.collect()
+        assert state.closed and state.segments == []
 
 
 class TestAttachmentCache:

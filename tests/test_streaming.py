@@ -247,6 +247,53 @@ class TestFleetMaintainer:
         with pytest.raises(InvalidParameterError):
             maintainer.test(norm="tv")
 
+    def test_update_many_rejects_bad_dtype_with_member_context(self):
+        from repro.streaming import FleetMaintainer
+
+        maintainer = FleetMaintainer(3, 64, 2, rng=1)
+        with pytest.raises(InvalidParameterError) as excinfo:
+            maintainer.update_many(1, np.array([0.5, 1.5]))
+        message = str(excinfo.value)
+        assert "stream 1" in message
+        assert "dtype must be integer" in message
+        assert "float64" in message
+
+    def test_update_many_rejects_out_of_range_with_span(self):
+        from repro.streaming import FleetMaintainer
+
+        maintainer = FleetMaintainer(3, 64, 2, rng=1)
+        with pytest.raises(InvalidParameterError) as excinfo:
+            maintainer.update_many(2, np.array([3, -4, 70]))
+        message = str(excinfo.value)
+        assert "stream 2" in message
+        assert "[-4, 70]" in message  # the actual batch span, for triage
+        assert "outside the domain [0, 64)" in message
+
+    def test_failed_batch_leaves_the_reservoir_untouched(self):
+        """Validation is all-or-nothing: a rejected batch must not leak
+        a prefix into the reservoir or bump the intake counters."""
+        from repro.streaming import FleetMaintainer
+
+        maintainer = FleetMaintainer(2, 64, 2, rng=1)
+        maintainer.update_many(0, np.array([1, 2, 3]))
+        seen = maintainer.items_seen[0]
+        before = sorted(maintainer._reservoirs[0].contents())
+        with pytest.raises(InvalidParameterError):
+            maintainer.update_many(0, np.array([4, 5, 999]))
+        with pytest.raises(InvalidParameterError):
+            maintainer.update_many(0, np.array([6.0, 7.0]))
+        assert maintainer.items_seen[0] == seen
+        assert sorted(maintainer._reservoirs[0].contents()) == before
+        assert maintainer.ready == [True, False]  # member 1 still quiet
+
+    def test_update_many_empty_batch_is_a_noop(self):
+        from repro.streaming import FleetMaintainer
+
+        maintainer = FleetMaintainer(2, 64, 2, rng=1)
+        maintainer.update_many(0, np.array([], dtype=np.int64))
+        assert maintainer.items_seen[0] == 0
+        assert maintainer.ready == [False, False]
+
     def test_probe_ready_subset_while_one_stream_quiet(self):
         from repro.errors import EmptyStreamError
         from repro.streaming import FleetMaintainer

@@ -1,0 +1,214 @@
+"""The workload driver: determinism, skew, and trace structure.
+
+The generator's contract is that a trace is a pure function of its
+config — byte-identical across generators and calls
+(:func:`repro.serving.trace_bytes`) — and that the three workload
+structures it promises (Pareto-skewed popularity, refresh storms,
+test→learn chains) actually show up in the events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.serving import OPS, WorkloadConfig, WorkloadGenerator, trace_bytes
+
+configs = st.builds(
+    WorkloadConfig,
+    streams=st.integers(min_value=1, max_value=12),
+    requests=st.integers(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.sampled_from([64, 256, 1024]),
+    alpha=st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+    l1_fraction=st.floats(min_value=0.0, max_value=1.0),
+    chain_after_test=st.floats(min_value=0.0, max_value=1.0),
+    burst_every=st.integers(min_value=1, max_value=64),
+    burst_len=st.integers(min_value=0, max_value=24),
+    ingest_batch=st.integers(min_value=1, max_value=32),
+    warmup=st.booleans(),
+)
+
+
+class TestDeterminism:
+    @given(config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_equal_configs_give_byte_identical_traces(self, config):
+        first = WorkloadGenerator(config).trace()
+        second = WorkloadGenerator(config).trace()
+        assert trace_bytes(first) == trace_bytes(second)
+
+    @given(config=configs)
+    @settings(max_examples=20, deadline=None)
+    def test_trace_is_idempotent_per_generator(self, config):
+        generator = WorkloadGenerator(config)
+        assert trace_bytes(generator.trace()) == trace_bytes(generator.trace())
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(WorkloadConfig(streams=8, requests=64, seed=0))
+        b = WorkloadGenerator(WorkloadConfig(streams=8, requests=64, seed=1))
+        assert trace_bytes(a.trace()) != trace_bytes(b.trace())
+
+
+class TestStructure:
+    @given(config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_trace_shape_is_valid(self, config):
+        generator = WorkloadGenerator(config)
+        names = set(generator.stream_names)
+        trace = generator.trace()
+        if config.warmup:
+            # Warmup prefix: one ingest per stream, member order, t=0.
+            prefix = trace[: config.streams]
+            assert [r.stream for _, r in prefix] == generator.stream_names
+            assert all(r.op == "ingest" and at == 0.0 for at, r in prefix)
+        assert len(trace) >= config.requests + (
+            config.streams if config.warmup else 0
+        )
+        allowed = {op for op, weight in config.mix if weight > 0} | {"learn"}
+        last_at = 0.0
+        for at_us, request in trace:
+            assert at_us >= last_at  # arrival times never go backwards
+            last_at = at_us
+            assert request.op in OPS and request.op in allowed
+            assert request.stream in names
+            if request.op == "ingest":
+                values = np.asarray(request.values)
+                assert values.dtype.kind == "i"
+                assert values.size > 0
+                assert 0 <= values.min() and values.max() < config.n
+            elif request.op == "selectivity":
+                assert 0 <= request.start < request.stop <= config.n
+            elif request.op in ("test", "min_k"):
+                assert request.norm in ("l1", "l2")
+
+    def test_chains_always_fire_at_probability_one(self):
+        config = WorkloadConfig(
+            streams=6,
+            requests=80,
+            seed=2,
+            mix=(("ingest", 1.0), ("test", 3.0)),
+            chain_after_test=1.0,
+            burst_len=0,
+        )
+        trace = WorkloadGenerator(config).trace()
+        tests = 0
+        for position, (at_us, request) in enumerate(trace):
+            if request.op != "test":
+                continue
+            tests += 1
+            chained_at, chained = trace[position + 1]
+            assert chained.op == "learn"
+            assert chained.stream == request.stream
+            assert chained_at == at_us  # no gap inside a chain
+        assert tests > 0
+
+    def test_storms_open_with_an_ingest_wave(self):
+        config = WorkloadConfig(
+            streams=16,
+            requests=96,
+            seed=4,
+            burst_every=48,
+            burst_len=16,
+            chain_after_test=0.0,
+            warmup=False,
+        )
+        trace = WorkloadGenerator(config).trace()
+        wave = config.burst_len // 2
+        storm = trace[:wave]
+        assert all(r.op == "ingest" for _, r in storm)
+        cohort = [r.stream for _, r in storm]
+        assert len(set(cohort)) == wave  # distinct streams per cohort
+        probes = [r for _, r in trace[wave : config.burst_len]]
+        assert all(r.op != "ingest" for r in probes)
+        assert {r.stream for r in probes} <= set(cohort)
+
+
+class TestSkew:
+    def test_popularity_matches_the_pareto_law(self):
+        generator = WorkloadGenerator(WorkloadConfig(streams=16, alpha=1.5))
+        popularity = generator.popularity
+        assert popularity.sum() == pytest.approx(1.0)
+        ranked = np.sort(popularity)[::-1]
+        expected = (np.arange(16) + 1.0) ** -1.5
+        expected /= expected.sum()
+        assert np.allclose(ranked, expected)
+
+    def test_empirical_draws_track_popularity(self):
+        # Outside storms every request draws its stream from the
+        # popularity vector; with chains and storms off the empirical
+        # frequencies must converge on it.
+        config = WorkloadConfig(
+            streams=8,
+            requests=6000,
+            seed=9,
+            alpha=1.3,
+            burst_len=0,
+            chain_after_test=0.0,
+            warmup=False,
+        )
+        generator = WorkloadGenerator(config)
+        trace = generator.trace()
+        names = generator.stream_names
+        counts = np.zeros(config.streams)
+        for _, request in trace:
+            counts[names.index(request.stream)] += 1
+        empirical = counts / counts.sum()
+        l1 = float(np.abs(empirical - generator.popularity).sum())
+        assert l1 < 0.06, l1  # ~1/sqrt(6000) per-stream noise, summed
+
+    @given(alpha=st.floats(min_value=0.5, max_value=2.5), seed=st.integers(0, 999))
+    @settings(max_examples=25, deadline=None)
+    def test_hot_stream_dominates_under_any_alpha(self, alpha, seed):
+        config = WorkloadConfig(
+            streams=6,
+            requests=600,
+            seed=seed,
+            alpha=alpha,
+            burst_len=0,
+            chain_after_test=0.0,
+            warmup=False,
+        )
+        generator = WorkloadGenerator(config)
+        names = generator.stream_names
+        counts = np.zeros(config.streams)
+        for _, request in generator.trace():
+            counts[names.index(request.stream)] += 1
+        # Hottest vs coldest is a many-sigma gap at every alpha in
+        # range; hottest vs *second* hottest would flake at low alpha.
+        hottest = int(np.argmax(generator.popularity))
+        coldest = int(np.argmin(generator.popularity))
+        assert counts[hottest] > counts[coldest]
+
+
+class TestMixEdges:
+    def test_ingest_only_mix_storms_fall_back_to_the_full_mix(self):
+        config = WorkloadConfig(
+            streams=4,
+            requests=40,
+            seed=1,
+            mix=(("ingest", 1.0),),
+            burst_every=16,
+            burst_len=8,
+            warmup=False,
+        )
+        trace = WorkloadGenerator(config).trace()
+        assert len(trace) == 40
+        assert all(r.op == "ingest" for _, r in trace)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(streams=0)
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(requests=-1)
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(mix=(("transmogrify", 1.0),))
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(mix=(("test", 0.0),))
