@@ -38,6 +38,7 @@ from repro.serving import (
     WorkloadGenerator,
     replay,
 )
+from repro.utils.faults import FaultPlan
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
@@ -79,8 +80,13 @@ def _trace():
     return WorkloadGenerator(WORKLOAD).trace()
 
 
-def _replay(max_batch: int):
-    """One full replay through a fresh service at the given window."""
+def _replay(max_batch: int, *, workers: int = 1, faults=None, max_respawns=None):
+    """One full replay through a fresh service at the given window.
+
+    Returns ``(report, health)`` — the replay report plus the service's
+    closing health snapshot (executor respawn/degradation history when
+    the service owns a pool, for the chaos kernel's extra_info).
+    """
 
     async def run():
         service = HistogramService(
@@ -91,10 +97,14 @@ def _replay(max_batch: int):
             config=ServiceConfig(
                 max_batch=max_batch, max_linger_us=500.0, max_queue=4_096
             ),
+            workers=workers,
+            faults=faults,
+            max_respawns=max_respawns,
             rng=WORKLOAD.seed,
         )
         async with service:
-            return await replay(service, _trace(), clients=CLIENTS)
+            report = await replay(service, _trace(), clients=CLIENTS)
+            return report, service.health()
 
     return asyncio.run(run())
 
@@ -107,7 +117,7 @@ def _record(benchmark, report) -> None:
 
 def test_serve_storm_64(benchmark):
     """The skewed storm workload, coalesced (the headline kernel)."""
-    report = benchmark.pedantic(
+    report, _ = benchmark.pedantic(
         lambda: _replay(MAX_BATCH), rounds=3, iterations=1, warmup_rounds=1
     )
     _record(benchmark, report)
@@ -116,8 +126,43 @@ def test_serve_storm_64(benchmark):
 
 def test_serve_storm_64_serial(benchmark):
     """The same workload request-at-a-time (``max_batch=1``)."""
-    report = benchmark.pedantic(
+    report, _ = benchmark.pedantic(
         lambda: _replay(1), rounds=3, iterations=1, warmup_rounds=1
     )
     _record(benchmark, report)
     assert report.ok == report.requests
+
+
+def test_serve_storm_64_chaos(benchmark):
+    """The coalesced storm under worker kills: zero failed requests.
+
+    The service owns a two-worker pool and a seeded :class:`FaultPlan`
+    SIGKILLs workers on a fixed task cadence — each kill breaks a pool
+    mid-batch, the executor respawns it and re-issues the batch, and
+    every response must still come back ``ok`` (the recovery rungs are
+    byte-identity-pinned by the conformance suite; this kernel prices
+    them and proves the storm absorbs real worker deaths end to end).
+    No ``_serial`` pair: the datapoint is availability + recovery cost,
+    not a speedup.
+    """
+
+    def run():
+        # Plans are stateful counters — each round gets a fresh one so
+        # the kill cadence replays identically every round.
+        return _replay(
+            MAX_BATCH,
+            workers=2,
+            faults=FaultPlan(seed=0, kill_at=[0], kill_every=40, kill_limit=3),
+            max_respawns=8,
+        )
+
+    report, health = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _record(benchmark, report)
+    executor = health["executor"]
+    benchmark.extra_info["worker_crashes"] = executor["worker_crashes"]
+    benchmark.extra_info["respawns"] = executor["respawns"]
+    benchmark.extra_info["retried_tasks"] = executor["retried_tasks"]
+    benchmark.extra_info["degraded"] = executor["degraded"]
+    assert report.ok == report.requests  # kills never surface to clients
+    if not SMOKE:  # the smoke trace is too short to guarantee a strike
+        assert executor["worker_crashes"] >= 1

@@ -358,7 +358,22 @@ class HistogramFleet:
                 count_stack, count_slab = executor.shared_zeros(shape)
                 pair_stack, pair_slab = executor.shared_zeros(shape)
                 stacks = (count_stack, pair_stack)
-                slabs = (count_slab, pair_slab)
+                if count_slab is None or pair_slab is None:
+                    # An allocation fell back to a plain array (full
+                    # /dev/shm, or an injected chaos fault): workers
+                    # can't attach, so compiles go serial.  A slab that
+                    # *did* allocate is about to be released — swap its
+                    # still-zeroed view for a plain array first, or the
+                    # stack would dangle over an unmapped segment.
+                    if count_slab is not None:
+                        count_stack = np.zeros_like(count_stack)
+                    if pair_slab is not None:
+                        pair_stack = np.zeros_like(pair_stack)
+                    stacks = (count_stack, pair_stack)
+                    executor.release(count_slab, pair_slab)
+                    slabs = None
+                else:
+                    slabs = (count_slab, pair_slab)
             fleet_sketches = FleetTesterSketches(
                 self._n,
                 resolved.num_sets,
@@ -393,6 +408,7 @@ class HistogramFleet:
             pending.append((index, bundle.tester_sets(resolved)))
         if not pending:
             return fleet_sketches
+        staged = sets_slab = None
         if (
             executor is not None
             and executor.parallel
@@ -403,6 +419,7 @@ class HistogramFleet:
             staged, sets_slab = executor.scratch(
                 "fleet-compile-input", (len(pending), num_sets, set_size)
             )
+        if sets_slab is not None:
             for row, (_, sets) in enumerate(pending):
                 for column, values in enumerate(sets):
                     staged[row, column] = values

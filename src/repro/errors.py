@@ -73,3 +73,23 @@ class ServiceClosedError(ReproError):
     """A request was submitted to a serving layer that is draining or
     has shut down.  Unlike :class:`OverloadedError` there is no point
     retrying against the same service instance."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's ``deadline_ms`` budget expired before it executed.
+
+    Raised (and mapped to the ``deadline_exceeded`` response code) at
+    admission when the budget is already spent, or pre-execution when a
+    request aged out while queued behind a window.  The work was *not*
+    performed — a caller that still wants the answer resubmits with a
+    fresh budget."""
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic chaos fault fired (:class:`repro.utils.faults.FaultPlan`).
+
+    Only ever raised by test/chaos seams — a sample source wrapped by
+    :meth:`~repro.utils.faults.FaultPlan.wrap_source`, for instance —
+    never by production code paths.  Subclasses :class:`ReproError` so
+    the serving layer maps it to a structured response like any other
+    library failure instead of crashing the collector."""

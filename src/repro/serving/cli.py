@@ -22,6 +22,7 @@ from repro.serving.workload import (
     WorkloadGenerator,
     replay,
 )
+from repro.utils.faults import FaultPlan
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -48,6 +49,33 @@ def _parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="executor workers (1 = in-process)"
     )
     parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="latency budget stamped on every post-warmup request",
+    )
+    parser.add_argument(
+        "--chaos-kill-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chaos mode: SIGKILL the worker running every N-th pool task "
+        "(requires --workers > 1)",
+    )
+    parser.add_argument(
+        "--chaos-kill-limit",
+        type=int,
+        default=None,
+        metavar="M",
+        help="cap the number of injected worker kills",
+    )
+    parser.add_argument(
+        "--max-respawns",
+        type=int,
+        default=None,
+        help="pool respawns before the executor degrades to inline execution",
+    )
+    parser.add_argument(
         "--no-baseline",
         action="store_true",
         help="skip the request-at-a-time comparison run",
@@ -55,7 +83,8 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report(label: str, report: ReplayReport, stats: dict) -> None:
+def _report(label: str, report: ReplayReport, health: dict) -> None:
+    stats = health["stats"]
     print(f"[{label}]")
     print(
         f"  {report.requests} requests, {report.ok} ok, "
@@ -70,8 +99,18 @@ def _report(label: str, report: ReplayReport, stats: dict) -> None:
     )
     print(
         f"  batches {stats['batches']}, largest {stats['largest_batch']}, "
-        f"coalesced requests {stats['coalesced']}"
+        f"coalesced requests {stats['coalesced']}, "
+        f"deadline hits {stats['deadline_hits']}"
     )
+    executor = health["executor"]
+    if executor is not None:
+        print(
+            f"  executor: crashes {executor['worker_crashes']}, "
+            f"respawns {executor['respawns']}, "
+            f"retried tasks {executor['retried_tasks']}, "
+            f"degraded {executor['degraded']}, "
+            f"slab fallbacks {executor['slab_fallbacks']}"
+        )
 
 
 async def _run(args: argparse.Namespace) -> None:
@@ -82,6 +121,7 @@ async def _run(args: argparse.Namespace) -> None:
         n=args.n,
         k=args.k,
         epsilon=args.epsilon,
+        deadline_ms=args.deadline_ms,
     )
     generator = WorkloadGenerator(config)
     trace = generator.trace()
@@ -94,6 +134,16 @@ async def _run(args: argparse.Namespace) -> None:
     if not args.no_baseline:
         modes.append(("one-at-a-time", 1, 0.0))
     for label, max_batch, linger_us in modes:
+        faults = None
+        if args.chaos_kill_every is not None:
+            # One plan per run: chaos schedules never leak across the
+            # baseline comparison.
+            faults = FaultPlan(
+                seed=args.seed,
+                kill_every=args.chaos_kill_every,
+                kill_limit=args.chaos_kill_limit,
+            )
+            label = f"{label}+chaos"
         service = HistogramService(
             generator.stream_names,
             args.n,
@@ -102,11 +152,13 @@ async def _run(args: argparse.Namespace) -> None:
             config=ServiceConfig(max_batch=max_batch, max_linger_us=linger_us),
             references={config.reference: reference},
             workers=args.workers,
+            max_respawns=args.max_respawns,
+            faults=faults,
             rng=args.seed,
         )
         async with service:
             report = await replay(service, trace, clients=args.clients)
-            _report(label, report, service.stats)
+            _report(label, report, service.health())
 
 
 def main(argv: "list[str] | None" = None) -> int:

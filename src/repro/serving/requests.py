@@ -34,7 +34,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import (
+    DeadlineExceededError,
     EmptyStreamError,
+    InjectedFaultError,
     InsufficientSamplesError,
     InvalidParameterError,
     OverloadedError,
@@ -77,6 +79,10 @@ class Request:
     stop: int | None = None
     reference: str | None = None
     values: tuple | None = None
+    #: Latency budget in milliseconds, counted from admission; ``None``
+    #: = no deadline.  Excluded from :attr:`signature` — a deadline
+    #: changes *whether* a request runs, never which batch op serves it.
+    deadline_ms: float | None = None
 
     # ----------------------------- constructors ------------------- #
 
@@ -167,6 +173,22 @@ class Request:
         """Whether this request changes its stream's state."""
         return self.op == "ingest"
 
+    def with_deadline(self, deadline_ms: float | None) -> "Request":
+        """This request carrying a latency budget (or shedding one).
+
+        A non-``None`` budget must be a finite number of milliseconds,
+        ``>= 0``; zero is legal and means "already expired", which the
+        deadline tests use to exercise the rejection path
+        deterministically.
+        """
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+            if not np.isfinite(deadline_ms) or deadline_ms < 0:
+                raise InvalidParameterError(
+                    f"deadline_ms must be finite and >= 0, got {deadline_ms!r}"
+                )
+        return dataclasses.replace(self, deadline_ms=deadline_ms)
+
 
 @dataclass(frozen=True)
 class Response:
@@ -200,6 +222,8 @@ _TAXONOMY: tuple[tuple[type, str], ...] = (
     (UnknownStreamError, "unknown_stream"),
     (OverloadedError, "overloaded"),
     (ServiceClosedError, "service_closed"),
+    (DeadlineExceededError, "deadline_exceeded"),
+    (InjectedFaultError, "injected_fault"),
     (InsufficientSamplesError, "insufficient_samples"),
     (InvalidParameterError, "invalid_parameter"),
     (ReproError, "internal"),

@@ -42,6 +42,7 @@ import numpy as np
 from repro.api.shard import ParallelExecutor
 from repro.core.params import GreedyParams, TesterParams
 from repro.errors import (
+    DeadlineExceededError,
     EmptyStreamError,
     InvalidParameterError,
     OverloadedError,
@@ -52,6 +53,7 @@ from repro.errors import (
 from repro.histograms.intervals import Interval
 from repro.serving.requests import OPS, Request, Response, error_response
 from repro.streaming.fleet import FleetMaintainer
+from repro.utils.faults import FaultPlan
 
 _STOP = object()
 
@@ -128,6 +130,13 @@ class HistogramService:
     executor:
         A caller-owned executor to share instead; the service will not
         close it.
+    max_respawns / faults:
+        Fault-tolerance knobs for the executor the service owns
+        (``workers > 1``): how many pool respawns before it degrades to
+        inline execution, and an optional test-only
+        :class:`~repro.utils.faults.FaultPlan` chaos seam.  Both require
+        the service to own its executor — a caller-owned executor
+        carries its own settings.
     reservoir_capacity / refresh_every / params / engine /
     tester_engine / rng:
         Forwarded to the maintainer.
@@ -149,6 +158,8 @@ class HistogramService:
         references: "Mapping[str, object] | None" = None,
         workers: int = 1,
         executor: "ParallelExecutor | None" = None,
+        max_respawns: int | None = None,
+        faults: "FaultPlan | None" = None,
         reservoir_capacity: int = 4096,
         refresh_every: int | None = None,
         params: GreedyParams | None = None,
@@ -169,9 +180,16 @@ class HistogramService:
         self._config = config if config is not None else ServiceConfig()
         self._references = dict(references) if references else {}
         self._owns_executor = executor is None and workers > 1
-        self._executor = (
-            ParallelExecutor(workers) if self._owns_executor else executor
-        )
+        if not self._owns_executor and (max_respawns is not None or faults is not None):
+            raise InvalidParameterError(
+                "max_respawns/faults configure the executor the service owns; "
+                "they require workers > 1 and no caller-owned executor"
+            )
+        if self._owns_executor:
+            executor_kwargs = {} if max_respawns is None else {"max_respawns": max_respawns}
+            self._executor = ParallelExecutor(workers, faults=faults, **executor_kwargs)
+        else:
+            self._executor = executor
         self._maintainer = FleetMaintainer(
             len(streams),
             n,
@@ -198,6 +216,7 @@ class HistogramService:
             "batches": 0,
             "coalesced": 0,
             "largest_batch": 0,
+            "deadline_hits": 0,
         }
 
     # -------------------------------------------------------------- #
@@ -223,6 +242,24 @@ class HistogramService:
     def stats(self) -> dict[str, int]:
         """Serving counters: submitted/served/rejected/batches/..."""
         return dict(self._stats)
+
+    def health(self) -> dict:
+        """One structured snapshot of service and executor health.
+
+        ``stats`` are the serving counters (including ``deadline_hits``
+        and ``rejected``); ``executor`` is the owned or shared
+        executor's :meth:`~repro.api.ParallelExecutor.health` — respawn
+        and degradation history — or ``None`` for a purely serial
+        service.
+        """
+        return {
+            "streams": len(self._names),
+            "accepting": self._accepting,
+            "stats": self.stats,
+            "executor": (
+                self._executor.health() if self._executor is not None else None
+            ),
+        }
 
     def register_reference(self, name: str, reference: object) -> None:
         """Register a named reference for identity requests."""
@@ -269,7 +306,7 @@ class HistogramService:
                     entry = self._queue.get_nowait()
                     if entry is _STOP:
                         continue
-                    _, future = entry
+                    future = entry[1]
                     if not future.done():
                         future.set_exception(
                             ServiceClosedError("service closed before serving")
@@ -293,11 +330,17 @@ class HistogramService:
         """Admit one request and await its structured response.
 
         Request-level failures (unknown stream, quiet stream, invalid
-        parameters) come back as error :class:`Response` objects;
-        *admission*-level failures raise —
-        :class:`~repro.errors.OverloadedError` with a ``retry_after``
-        hint when the queue is full,
+        parameters, an already-spent ``deadline_ms`` budget) come back
+        as error :class:`Response` objects; *admission*-level failures
+        raise — :class:`~repro.errors.OverloadedError` with a
+        ``retry_after`` hint when the queue is full,
         :class:`~repro.errors.ServiceClosedError` once shutdown began.
+
+        A request carrying ``deadline_ms`` starts its clock here: the
+        budget covers queueing and lingering, and a request that ages
+        out before its batch executes resolves to a
+        ``deadline_exceeded`` error response (the work is skipped, not
+        half-done).
         """
         if not self._accepting or self._queue is None:
             raise ServiceClosedError("service is not accepting requests")
@@ -322,9 +365,29 @@ class HistogramService:
                     f"unknown op {request.op!r} (one of {', '.join(OPS)})"
                 ),
             )
-        future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        deadline = None
+        if request.deadline_ms is not None:
+            budget_ms = request.deadline_ms
+            if not np.isfinite(budget_ms) or budget_ms < 0:
+                self._stats["served"] += 1
+                return error_response(
+                    request,
+                    InvalidParameterError(
+                        f"deadline_ms must be finite and >= 0, got {budget_ms!r}"
+                    ),
+                )
+            if budget_ms == 0:
+                # The degenerate budget is already spent at admission —
+                # and is how tests exercise the deadline path without
+                # racing the clock.
+                self._stats["served"] += 1
+                self._stats["deadline_hits"] += 1
+                return error_response(request, self._deadline_error(request))
+            deadline = loop.time() + budget_ms / 1e3
+        future = loop.create_future()
         try:
-            self._queue.put_nowait((request, future))
+            self._queue.put_nowait((request, future, deadline))
         except asyncio.QueueFull:
             self._stats["rejected"] += 1
             raise OverloadedError(
@@ -376,9 +439,41 @@ class HistogramService:
             if stopping:
                 return
 
+    @staticmethod
+    def _deadline_error(request: Request) -> DeadlineExceededError:
+        return DeadlineExceededError(
+            f"deadline of {request.deadline_ms:g} ms expired before "
+            f"{request.op!r} executed; resubmit with a fresh budget"
+        )
+
+    def _expire_overdue(self, window: list) -> list:
+        """Resolve aged-out requests; the still-live remainder executes.
+
+        The pre-execution deadline check: a request whose absolute
+        deadline passed while it queued or lingered gets a
+        ``deadline_exceeded`` error response and never reaches a fleet
+        op — its work is skipped entirely, which is the only
+        deadline semantics compatible with batched execution.
+        """
+        now = asyncio.get_running_loop().time()
+        live = []
+        for entry in window:
+            request, future, deadline = entry
+            if deadline is not None and now >= deadline:
+                self._stats["deadline_hits"] += 1
+                self._stats["served"] += 1
+                if not future.done():  # pragma: no branch - submit awaits it
+                    future.set_result(
+                        error_response(request, self._deadline_error(request))
+                    )
+            else:
+                live.append(entry)
+        return live
+
     def _serve_window(self, window: list) -> None:
         """Partition one admission window and execute its batches."""
         self._stats["windows"] += 1
+        window = self._expire_overdue(window)
         for batch in self._plan_batches(window):
             self._stats["batches"] += 1
             size = len(batch)
@@ -405,13 +500,12 @@ class HistogramService:
         batches = []
         remaining = window
         while remaining:
-            head_request, _ = remaining[0]
-            signature = head_request.signature
+            signature = remaining[0][0].signature
             batch = []
             blocked: set[str] = set()
             rest = []
             for entry in remaining:
-                request, _ = entry
+                request = entry[0]
                 if request.signature == signature and request.stream not in blocked:
                     batch.append(entry)
                 else:
@@ -443,18 +537,18 @@ class HistogramService:
             else:
                 self._execute_probe(op, batch)
         except ReproError as exc:
-            for request, future in batch:
+            for request, future, _ in batch:
                 if not future.done():
                     future.set_result(error_response(request, exc))
         except BaseException as exc:
-            for _, future in batch:
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             raise
 
     def _execute_ingest(self, batch: list) -> None:
         """Absorb ingest batches entry by entry, in admission order."""
-        for request, future in batch:
+        for request, future, _ in batch:
             member = self._index[request.stream]
             try:
                 values = np.asarray(request.values)
@@ -480,7 +574,7 @@ class HistogramService:
         members: list[int] = []  # distinct, first-occurrence order
         seen: dict[str, int] = {}  # stream -> position in `members`
         head = batch[0][0]
-        for request, future in batch:
+        for request, future, _ in batch:
             if request.op == "identity" and request.reference not in self._references:
                 future.set_result(
                     error_response(

@@ -92,6 +92,12 @@ class WorkloadConfig:
         to the reservoir capacity it pre-fills every stream, so the
         steady state — full reservoirs, capacity-sized pools — starts
         at event zero instead of storms in.
+    deadline_ms:
+        Latency budget stamped on every post-warmup request (``None``
+        = no deadlines).  Warmup ingests stay deadline-free so the
+        fleet always warms deterministically.  A trace with deadlines
+        is still byte-stable, but its *responses* depend on serving
+        speed — keep deadlines off when pinning response traces.
     """
 
     streams: int = 64
@@ -119,6 +125,7 @@ class WorkloadConfig:
     ingest_batch: int = 64
     warmup: bool = True
     warmup_batch: int | None = None
+    deadline_ms: float | None = None
     reference: str = "baseline"
 
     def __post_init__(self) -> None:
@@ -276,13 +283,18 @@ class WorkloadGenerator:
             else:  # selectivity
                 start, stop = self._draw_range(rng)
                 request = Request.selectivity(name, start, stop)
+            if config.deadline_ms is not None:
+                request = request.with_deadline(config.deadline_ms)
             events.append((at_us, request))
             issued += 1
             if op == "test" and rng.random() < config.chain_after_test:
                 # The pessimistic client: relearn right after the test,
                 # same stream, no gap.  Chained learns ride the trace
                 # budget like any other request.
-                events.append((at_us, Request.learn(name)))
+                chained = Request.learn(name)
+                if config.deadline_ms is not None:
+                    chained = chained.with_deadline(config.deadline_ms)
+                events.append((at_us, chained))
                 issued += 1
         return events
 
@@ -315,12 +327,19 @@ class ReplayReport:
         return dict(self.errors)
 
 
+#: Exponent cap for overload backoff: delays grow at most ``2 ** 5`` =
+#: 32x the advertised ``retry_after``, so a long retry budget (the
+#: storm benches run ``max_retries=50``) cannot sleep for hours.
+_BACKOFF_CAP = 5
+
+
 async def replay(
     service: HistogramService,
     trace: "list[tuple[float, Request]]",
     *,
     clients: int = 16,
     max_retries: int = 8,
+    retry_seed: int = 0,
     collect: bool = False,
 ) -> ReplayReport:
     """Drive ``trace`` through ``service`` with a closed client loop.
@@ -330,8 +349,15 @@ async def replay(
     so the *admission* order is exactly the trace order no matter how
     many clients run; concurrency shows up as how many requests are
     in flight (and so how much the coalescer can batch), not as
-    reordering.  Overload rejections sleep the advertised
-    ``retry_after`` and retry up to ``max_retries`` times.
+    reordering.
+
+    Overload rejections back off *exponentially with seeded jitter*:
+    retry ``a`` sleeps ``retry_after * 2**min(a, 5) * U`` with ``U``
+    drawn uniformly from ``[0.5, 1.5)`` off ``retry_seed`` — growth
+    keeps a storm of rejected clients from hammering a saturated
+    admission queue in lockstep, jitter de-synchronises their
+    re-arrivals, and the seed keeps the sleep schedule replayable.
+    Retries stop after ``max_retries`` attempts.
 
     With ``collect=True`` the report carries every response in trace
     order — the conformance suite's byte-identity input.
@@ -339,6 +365,7 @@ async def replay(
     if clients < 1:
         raise InvalidParameterError(f"clients must be >= 1, got {clients}")
     loop = asyncio.get_running_loop()
+    backoff_rng = as_rng(retry_seed)
     cursor = 0
     latencies: list[float] = []
     responses: "list[Response | None]" = [None] * len(trace) if collect else []
@@ -366,9 +393,14 @@ async def replay(
                     if attempts >= max_retries:
                         failures["overloaded"] = failures.get("overloaded", 0) + 1
                         break
+                    delay = (
+                        exc.retry_after
+                        * 2.0 ** min(attempts, _BACKOFF_CAP)
+                        * (0.5 + backoff_rng.random())
+                    )
                     attempts += 1
                     retried += 1
-                    await asyncio.sleep(exc.retry_after)
+                    await asyncio.sleep(delay)
                     continue
                 break
             latencies.append(loop.time() - started)

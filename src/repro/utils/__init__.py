@@ -1,5 +1,7 @@
-"""Small shared utilities: RNG handling, prefix sums, tables, timing."""
+"""Small shared utilities: RNG handling, prefix sums, tables, timing,
+shared-memory slabs, and deterministic fault injection."""
 
+from repro.utils.faults import FaultPlan, FaultySource
 from repro.utils.prefix import (
     interval_sums,
     pairs_count,
@@ -10,6 +12,8 @@ from repro.utils.tables import format_markdown_table
 from repro.utils.timing import Timer
 
 __all__ = [
+    "FaultPlan",
+    "FaultySource",
     "Timer",
     "as_rng",
     "format_markdown_table",

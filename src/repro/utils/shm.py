@@ -28,6 +28,25 @@ import numpy as np
 _ATTACH_CACHE_LIMIT = 32
 _ATTACHED: "OrderedDict[str, object]" = OrderedDict()
 
+# Parent-side segment registry: the executor registers every segment it
+# creates so SharedSlab.attach() in the *owning* process resolves to the
+# original mapping instead of opening the name again.  This is what lets
+# slab-carrying tasks run inline (serial, small-batch, or degraded
+# executors) even after a segment's /dev/shm name has been eagerly
+# unlinked — the fault-recovery path reaps names the moment no worker
+# can need them, while parent-held mappings stay valid until close.
+_PARENT_SEGMENTS: "dict[str, shared_memory.SharedMemory]" = {}
+
+
+def register_parent_segment(segment: shared_memory.SharedMemory) -> None:
+    """Publish a parent-owned segment for in-process ``attach`` calls."""
+    _PARENT_SEGMENTS[segment.name] = segment
+
+
+def unregister_parent_segment(name: str) -> None:
+    """Drop a parent-owned segment from the in-process registry."""
+    _PARENT_SEGMENTS.pop(name, None)
+
 
 def _evict_attachments() -> None:
     """Unmap least-recently-used segments beyond the cache bound."""
@@ -53,7 +72,18 @@ class SharedSlab:
     dtype: str
 
     def attach(self) -> np.ndarray:
-        """The slab as an ndarray (worker side; cached per process)."""
+        """The slab as an ndarray (worker side; cached per process).
+
+        In the process that *owns* the segment (registered via
+        :func:`register_parent_segment`) this returns a view over the
+        original mapping — no reopen, and valid even after the name was
+        unlinked.
+        """
+        parent = _PARENT_SEGMENTS.get(self.name)
+        if parent is not None:
+            return np.ndarray(
+                self.shape, dtype=np.dtype(self.dtype), buffer=parent.buf
+            )
         segment = _ATTACHED.get(self.name)
         if segment is None:
             segment = _open_segment(self.name)

@@ -41,6 +41,7 @@ from repro.api import (
 )
 from repro.core.params import GreedyParams, TesterParams
 from repro.distributions import families
+from repro.utils.faults import FaultPlan
 
 N = 96
 FLEET_SIZE = 3
@@ -224,6 +225,80 @@ def test_shard_matrix_cell_matches_reference(
                 executor=executor,
             )
             assert (outcome, memo) == shard_references[(tester_engine, driver)]
+
+
+# ------------------------------------------------------------------ #
+# chaos cells: injected faults must not change a byte
+# ------------------------------------------------------------------ #
+
+# (label, plan factory, max_respawns, must_degrade).  Plans are
+# stateful — each cell builds a fresh one.
+CHAOS_CELLS = [
+    (
+        "kill-once",
+        lambda: FaultPlan(kill_at=[0], kill_limit=1),
+        4,
+        False,
+    ),
+    (
+        "kill-until-degraded",
+        lambda: FaultPlan(kill_every=1),
+        1,
+        True,
+    ),
+    (
+        "delay-and-alloc-failures",
+        lambda: FaultPlan(delay_at=[0, 3], delay_s=0.005, fail_alloc_at=[0, 2]),
+        2,
+        False,
+    ),
+]
+
+
+@pytest.mark.shm_guard
+@pytest.mark.parametrize(
+    "label,make_plan,max_respawns,must_degrade",
+    CHAOS_CELLS,
+    ids=[cell[0] for cell in CHAOS_CELLS],
+)
+def test_chaos_cell_matches_reference(
+    label, make_plan, max_respawns, must_degrade, shard_references
+):
+    """Every rung of the fault-recovery ladder is byte-identical.
+
+    Workers SIGKILLed mid-batch (respawned, or driven all the way to
+    inline degradation), stalled workers, and failed slab allocations
+    must reproduce the serial reference cell exactly — verdicts,
+    histograms, query logs, and memo accounting."""
+    plan = make_plan()
+    with ParallelExecutor(
+        4,
+        plan=ShardPlan(2),
+        resolve_min_batch=1,
+        max_respawns=max_respawns,
+        faults=plan,
+    ) as executor:
+        for driver in DRIVERS:
+            outcome, memo = run_scenario(
+                "incremental",
+                "compiled",
+                "array",
+                driver,
+                SEEDS[0],
+                executor=executor,
+            )
+            assert (outcome, memo) == shard_references[("compiled", driver)], (
+                label,
+                driver,
+            )
+        health = executor.health()
+        assert executor.degraded == must_degrade, label
+        injected = plan.injected
+        assert sum(injected.values()) > 0, label  # chaos really fired
+        if injected["kills"]:
+            assert health["worker_crashes"] >= 1
+        if injected["alloc_failures"]:
+            assert health["slab_fallbacks"] >= 1
 
 
 def test_counting_sources_observe_identical_draws():

@@ -28,6 +28,7 @@ from repro.samples.collision import dense_interval_prefixes
 from repro.samples.estimators import MultiSketch
 from repro.streaming import StreamingHistogramMaintainer
 from repro.streaming.fleet import FleetMaintainer
+from repro.utils.faults import FaultPlan
 from repro.utils.shm import create_slab
 
 
@@ -375,3 +376,121 @@ class TestMaintainerPassthrough:
             for key, compiled in compiled_before[1].items():
                 assert compiled_after[1][key] is not compiled
             assert len(first) == len(second) == 3
+
+
+class TestSelfHealing:
+    """The degradation ladder: respawn (bounded), then inline — all
+    byte-identical, with the fault history exposed through health()."""
+
+    pytestmark = pytest.mark.shm_guard
+
+    def test_kill_mid_map_respawns_and_matches_inline(self):
+        tasks = list(range(16))
+        want = [t * t for t in tasks]
+        plan = FaultPlan(kill_at=[3], kill_limit=1)
+        with ParallelExecutor(2, faults=plan, max_respawns=2) as executor:
+            assert executor.map(_square, tasks) == want
+            health = executor.health()
+            assert health["worker_crashes"] == 1
+            assert health["respawns"] == 1
+            assert health["retried_tasks"] == len(tasks)
+            assert not health["degraded"] and executor.parallel
+            assert [e["kind"] for e in health["events"]] == [
+                "worker_crash", "respawn",
+            ]
+            # The healed pool keeps serving.
+            assert executor.map(_square, tasks) == want
+
+    def test_respawn_budget_exhaustion_degrades_to_inline(self):
+        tasks = list(range(8))
+        want = [t * t for t in tasks]
+        with ParallelExecutor(
+            2, faults=FaultPlan(kill_every=1), max_respawns=1
+        ) as executor:
+            assert executor.map(_square, tasks) == want
+            assert executor.degraded and not executor.parallel
+            health = executor.health()
+            assert health["worker_crashes"] == 2
+            assert health["respawns"] == 1
+            assert [e["kind"] for e in health["events"]][-1] == "degraded"
+            # Degraded maps run inline; in-parent kills are skipped, so
+            # the healthy computation simply runs.
+            assert executor.map(_square, tasks) == want
+            assert executor.health()["degraded_maps"] == 2
+
+    def test_degrade_reaps_segment_names_eagerly(self):
+        with ParallelExecutor(
+            2, faults=FaultPlan(kill_every=1), max_respawns=0
+        ) as executor:
+            array, slab = executor.shared_zeros((6,))
+            array[:] = np.arange(6)
+            assert executor.map(
+                _read_slab, [(slab, i) for i in range(6)]
+            ) == list(range(6))
+            assert executor.degraded
+            # The /dev/shm name died the moment the executor degraded
+            # (no worker can ever attach again)...
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=slab.name)
+            # ...but the parent-held mapping still serves inline tasks.
+            assert executor.map(_read_slab, [(slab, 3), (slab, 5)]) == [3, 5]
+
+    def test_worker_sigkill_then_finalize_reaps_everything(self):
+        """A worker SIGKILLed mid-map over live slabs must not defeat
+        the ``weakref.finalize`` safety net: the map self-heals with
+        bit-equal results, and the dropped executor still reaps its
+        respawned pool and every shared segment."""
+        import gc
+
+        plan = FaultPlan(kill_at=[1], kill_limit=1)
+        executor = ParallelExecutor(2, faults=plan, max_respawns=2)
+        array, slab = executor.shared_zeros((8,))
+        array[:] = np.arange(8) * 3
+        got = executor.map(_read_slab, [(slab, i) for i in range(8)])
+        assert got == [i * 3 for i in range(8)]  # healed, bit-equal
+        assert executor.health()["worker_crashes"] == 1
+        state = executor._state
+        names = [segment.name for segment in state.segments]
+        assert names and not state.closed
+        del array, executor
+        gc.collect()
+        assert state.closed and state.pool is None
+        for name in names:  # the OS objects are gone, not just our refs
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_delay_directive_only_slows_the_map(self):
+        with ParallelExecutor(
+            2, faults=FaultPlan(delay_at=[0], delay_s=0.01)
+        ) as executor:
+            assert executor.map(_square, list(range(8))) == [
+                t * t for t in range(8)
+            ]
+            health = executor.health()
+            assert health["worker_crashes"] == 0 and not health["degraded"]
+
+    def test_alloc_fault_falls_back_to_plain_arrays(self):
+        with ParallelExecutor(
+            2, faults=FaultPlan(fail_alloc_at=[0, 1])
+        ) as executor:
+            array, slab = executor.shared_zeros((4,))
+            assert slab is None and not array.any()
+            scratch_array, scratch_slab = executor.scratch("k", (4,))
+            assert scratch_slab is None and scratch_array.shape == (4,)
+            assert executor.health()["slab_fallbacks"] == 2
+            # The next allocation is healthy again.
+            _, healthy = executor.shared_zeros((4,))
+            assert healthy is not None
+
+    def test_release_is_idempotent_against_unlinked_slabs(self):
+        with ParallelExecutor(2) as executor:
+            array, slab = executor.shared_zeros((4,))
+            segment = next(
+                s for s in executor._segments if s.name == slab.name
+            )
+            segment.unlink()  # yanked behind the executor's back
+            del array
+            executor.release(slab)  # must not raise
+            executor.release(slab)  # segment already gone: no-op
+            executor.release(None, slab)
+            assert executor._segments == []

@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.errors import (
+    DeadlineExceededError,
     InvalidParameterError,
     OverloadedError,
     ReproError,
@@ -34,6 +35,7 @@ from repro.serving import (
     error_code,
     replay,
 )
+from repro.utils.faults import FaultPlan
 
 N, K, EPSILON = 256, 4, 0.35
 REFERENCE = np.full(N, 1.0 / N)
@@ -67,7 +69,9 @@ def mixed_workload(**overrides) -> WorkloadConfig:
     return WorkloadConfig(**settings)
 
 
-def build_service(names, *, max_batch, linger_us, workers=1):
+def build_service(
+    names, *, max_batch, linger_us, workers=1, faults=None, max_respawns=None
+):
     return HistogramService(
         names,
         N,
@@ -78,12 +82,24 @@ def build_service(names, *, max_batch, linger_us, workers=1):
         ),
         references={"baseline": REFERENCE},
         workers=workers,
+        faults=faults,
+        max_respawns=max_respawns,
         reservoir_capacity=N,
         rng=7,
     )
 
 
-def replay_canonical(config, *, max_batch, linger_us, workers=1, clients=24):
+def replay_canonical(
+    config,
+    *,
+    max_batch,
+    linger_us,
+    workers=1,
+    clients=24,
+    faults=None,
+    max_respawns=None,
+    health_sink=None,
+):
     """Replay ``config``'s trace; return the canonical response trace."""
     generator = WorkloadGenerator(config)
     trace = generator.trace()
@@ -94,9 +110,13 @@ def replay_canonical(config, *, max_batch, linger_us, workers=1, clients=24):
             max_batch=max_batch,
             linger_us=linger_us,
             workers=workers,
+            faults=faults,
+            max_respawns=max_respawns,
         )
         async with service:
             report = await replay(service, trace, clients=clients, collect=True)
+            if health_sink is not None:
+                health_sink.append(service.health())
         return report
 
     report = asyncio.run(run())
@@ -152,6 +172,192 @@ class TestCoalescingConformance:
         assert stats["batches"] < len(trace)  # windows really folded
         assert stats["largest_batch"] > 1
         assert stats["coalesced"] > 0
+
+
+@pytest.mark.shm_guard
+class TestChaosConformance:
+    """Worker kills mid-replay must not change a byte of any answer.
+
+    The acceptance criterion of the fault-tolerance PR: a service whose
+    pool workers are killed by a pinned
+    :class:`~repro.utils.faults.FaultPlan` — healed by respawns, or
+    driven all the way down the ladder to inline degradation — returns
+    responses byte-identical to a fault-free ``workers=1`` run of the
+    same admission order.
+    """
+
+    def test_worker_kills_heal_byte_identically(self):
+        config = mixed_workload(requests=40, seed=5)
+        reference = replay_canonical(config, max_batch=1, linger_us=0.0)
+        health_sink: list = []
+        trace = replay_canonical(
+            config,
+            max_batch=16,
+            linger_us=400.0,
+            workers=2,
+            faults=FaultPlan(kill_at=[0], kill_every=40, kill_limit=3),
+            max_respawns=8,
+            health_sink=health_sink,
+        )
+        assert trace == reference
+        executor = health_sink[0]["executor"]
+        assert executor["worker_crashes"] >= 1  # chaos really fired
+        assert executor["respawns"] >= 1
+        assert not executor["degraded"]
+
+    def test_degraded_service_matches_serial(self):
+        config = mixed_workload(requests=40, seed=5)
+        reference = replay_canonical(config, max_batch=1, linger_us=0.0)
+        health_sink: list = []
+        trace = replay_canonical(
+            config,
+            max_batch=16,
+            linger_us=400.0,
+            workers=2,
+            faults=FaultPlan(kill_every=1),  # every attempt dies
+            max_respawns=1,
+            health_sink=health_sink,
+        )
+        assert trace == reference
+        executor = health_sink[0]["executor"]
+        assert executor["degraded"] and not executor["parallel"]
+        assert [e["kind"] for e in executor["events"]][-1] == "degraded"
+
+
+class TestDeadlines:
+    def test_spent_budget_rejected_at_admission(self):
+        async def run():
+            service = build_service(["a"], max_batch=4, linger_us=0.0)
+            async with service:
+                response = await service.submit(
+                    Request.test("a").with_deadline(0)
+                )
+            return response, service.stats
+
+        response, stats = asyncio.run(run())
+        assert not response.ok
+        assert response.error_code == "deadline_exceeded"
+        assert stats["deadline_hits"] == 1 and stats["served"] == 1
+
+    def test_generous_budget_is_served(self):
+        async def run():
+            service = build_service(["a"], max_batch=4, linger_us=0.0)
+            async with service:
+                await service.submit(
+                    Request.ingest("a", np.arange(32) % N)
+                )
+                response = await service.submit(
+                    Request.learn("a").with_deadline(3_600_000)
+                )
+            return response, service.stats
+
+        response, stats = asyncio.run(run())
+        assert response.ok
+        assert stats["deadline_hits"] == 0
+
+    def test_queued_request_ages_out_before_execution(self):
+        # Deterministic pre-execution expiry: hand the collector's
+        # window path an entry whose absolute deadline already passed.
+        async def run():
+            service = build_service(["a"], max_batch=4, linger_us=0.0)
+            async with service:
+                await service.submit(Request.ingest("a", np.arange(32) % N))
+                loop = asyncio.get_running_loop()
+                expired = loop.create_future()
+                live = loop.create_future()
+                service._serve_window(
+                    [
+                        (
+                            Request.learn("a").with_deadline(5.0),
+                            expired,
+                            loop.time() - 1.0,
+                        ),
+                        (Request.learn("a"), live, None),
+                    ]
+                )
+                return await expired, await live, service.stats
+
+        expired, live, stats = asyncio.run(run())
+        assert not expired.ok and expired.error_code == "deadline_exceeded"
+        assert "resubmit" in expired.error[1]
+        assert live.ok
+        assert stats["deadline_hits"] == 1
+
+    def test_invalid_budgets_are_structured_errors(self):
+        import dataclasses
+
+        async def run():
+            service = build_service(["a"], max_batch=4, linger_us=0.0)
+            responses = []
+            async with service:
+                for bad in (-5.0, float("nan"), float("inf")):
+                    responses.append(
+                        await service.submit(
+                            dataclasses.replace(
+                                Request.learn("a"), deadline_ms=bad
+                            )
+                        )
+                    )
+            return responses
+
+        for response in asyncio.run(run()):
+            assert response.error_code == "invalid_parameter"
+            assert "deadline_ms" in response.error[1]
+
+    def test_with_deadline_validates_and_signature_ignores_it(self):
+        request = Request.test("a", norm="l2")
+        stamped = request.with_deadline(250.0)
+        assert stamped.deadline_ms == 250.0
+        assert stamped.signature == request.signature
+        assert stamped.with_deadline(None).deadline_ms is None
+        with pytest.raises(InvalidParameterError):
+            request.with_deadline(-1.0)
+        with pytest.raises(InvalidParameterError):
+            request.with_deadline(float("inf"))
+        assert error_code(DeadlineExceededError("x")) == "deadline_exceeded"
+
+    def test_workload_config_stamps_deadlines(self):
+        config = mixed_workload(requests=20, deadline_ms=500.0)
+        trace = WorkloadGenerator(config).trace()
+        warmup = config.streams
+        assert all(
+            request.deadline_ms is None for _, request in trace[:warmup]
+        )
+        assert all(
+            request.deadline_ms == 500.0 for _, request in trace[warmup:]
+        )
+
+
+class TestHealthSurface:
+    def test_health_reports_service_and_executor(self):
+        async def run():
+            service = build_service(
+                ["a", "b"], max_batch=4, linger_us=0.0, workers=2
+            )
+            async with service:
+                await service.submit(Request.ingest("a", np.arange(16) % N))
+                return service.health()
+
+        health = asyncio.run(run())
+        assert health["streams"] == 2 and health["accepting"]
+        assert health["stats"]["served"] == 1
+        executor = health["executor"]
+        assert executor["workers"] == 2 and not executor["degraded"]
+        assert executor["worker_crashes"] == 0
+
+    def test_serial_service_has_no_executor_health(self):
+        async def run():
+            service = build_service(["a"], max_batch=1, linger_us=0.0)
+            async with service:
+                return service.health()
+
+        assert asyncio.run(run())["executor"] is None
+
+    def test_fault_knobs_require_an_owned_executor(self):
+        with pytest.raises(InvalidParameterError):
+            build_service(["a"], max_batch=1, linger_us=0.0, faults=FaultPlan())
+        with pytest.raises(InvalidParameterError):
+            build_service(["a"], max_batch=1, linger_us=0.0, max_respawns=3)
 
 
 class TestAdmission:
@@ -551,3 +757,38 @@ class TestCli:
         )
         out = capsys.readouterr().out
         assert "[coalesced]" in out and "[one-at-a-time]" not in out
+
+    @pytest.mark.shm_guard
+    def test_repro_serve_chaos_mode_prints_executor_health(self, capsys):
+        from repro.serving.cli import main
+
+        assert (
+            main(
+                [
+                    "--streams", "2", "--requests", "10", "--n", "128",
+                    "--k", "4", "--clients", "4", "--no-baseline",
+                    "--workers", "2", "--chaos-kill-every", "40",
+                    "--chaos-kill-limit", "1", "--max-respawns", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[coalesced+chaos]" in out
+        assert "executor:" in out and "respawns" in out
+
+    def test_repro_serve_deadline_flag(self, capsys):
+        from repro.serving.cli import main
+
+        assert (
+            main(
+                [
+                    "--streams", "2", "--requests", "8", "--n", "128",
+                    "--k", "4", "--clients", "4", "--no-baseline",
+                    "--deadline-ms", "60000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "deadline hits" in out
