@@ -1,30 +1,42 @@
 """T12 — the parallel shard engine: executor-driven fleets and sessions.
 
-Two claims ride the ``ShardedSketch`` + :class:`~repro.api.ParallelExecutor`
-engine (README.md, "Architecture"):
+Three claims ride the ``ShardedSketch`` + :class:`~repro.api.ParallelExecutor`
+engine and the lockstep learner (README.md, "Architecture"):
 
-* ``test_shard_serving_64`` / ``_loop`` — the headline pair: the
-  64-stream tester serving sweep of ``bench_t11_fleet`` driven through
-  a fleet with a ``workers=4`` executor (member compiles fanned over
-  shared-memory slabs) must beat the looped-session baseline by >= 2.5x
-  while returning byte-identical results.  The executor is module-level
-  — a serving plane keeps one worker pool across sweeps — but each
-  measured call still compiles its fleet cold, exactly like the t11
-  pair.
-* ``test_shard_learn_outofcore`` / ``_loop`` — an out-of-core-scale
-  learn (millions of pooled samples): the sharded compile sorts
-  bounded per-shard buffers and materialises only the ``(G, r)`` gather
-  slab whole, and must stay at parity with the monolithic sort while
-  returning the identical histogram.  (On a single-core CI box parity
-  is the bar; the shard path's win is the bounded working set.)
+* ``test_shard_serving_64`` / ``_loop`` — the tester headline: the
+  64-stream serving sweep of ``bench_t11_fleet`` driven through a fleet
+  with a ``workers=4`` executor (member compiles fanned over
+  shared-memory slabs) must beat the looped-session baseline by >= 2x
+  while returning byte-identical results (recorded 2.3-2.8x depending
+  on machine load).
+* ``test_shard_learn_outofcore`` / ``_loop`` — one session, an
+  out-of-core-scale pooled budget (~1M collision samples over a 64k
+  domain), a high-``k`` learn grid: the lockstep engine (sharded
+  compile + cached per-grid-point score terms refreshed only over each
+  round's dirty span) must beat the incremental engine — which
+  re-tabulates the full grid and re-runs both full-grid searchsorteds
+  every round — by >= 2x, byte-identically.  This is the pair that
+  closed the sharded-learn gap: the compile-only shard path recorded
+  1.04x here.
+* ``test_shard_learn_fleet_64`` / ``_loop`` — the fleet headline: 64
+  members learning a 2-point grid through one ``learn_many`` lockstep
+  (all members' rounds advanced together, early-converging runs
+  dropping out of the active mask) vs 64 looped incremental sessions,
+  >= 2x at ``workers=4``, cold compile included.
 
 Kernels come in ``<name>`` / ``<name>_loop`` pairs that feed
-``BENCH_shard.json`` via ``benchmarks/record_shard_bench.py``.
+``BENCH_shard.json`` via ``benchmarks/record_shard_bench.py``; CI runs
+the learn pairs through ``benchmarks/perf_guard.py`` (within-run pair
+speedup >= 1.5x at smoke size).
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized workload (8 streams,
+shrunk pools) — same code and same pairing, minutes down to seconds.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
 from functools import lru_cache
 
 import numpy as np
@@ -39,10 +51,16 @@ from repro.api import (
 from repro.core.params import GreedyParams, TesterParams
 from repro.distributions import families
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 N = 4_096
-FLEET_SIZE = 64
-STREAM_LENGTH = 100_000
-TEST_PARAMS = TesterParams(num_sets=15, set_size=8_000)
+FLEET_SIZE = 8 if SMOKE else 64
+STREAM_LENGTH = 20_000 if SMOKE else 100_000
+TEST_PARAMS = (
+    TesterParams(num_sets=7, set_size=3_000)
+    if SMOKE
+    else TesterParams(num_sets=15, set_size=8_000)
+)
 L2_GRID = [
     (k, eps)
     for k in (4, 8)
@@ -56,25 +74,55 @@ _SEEDS = list(range(FLEET_SIZE))
 EXECUTOR = ParallelExecutor(4, plan=ShardPlan(4))
 atexit.register(EXECUTOR.close)
 
-OOC_N = 8_192
-OOC_STREAM = 200_000
-OOC_PARAMS = GreedyParams(
-    weight_sample_size=1_200_000,
-    collision_sets=7,
-    collision_set_size=700_000,
-    rounds=2,
-)
-# With ~1.2M weight samples over an 8k domain the T' endpoint set is the
-# whole domain; the cap keeps the candidate self-cost pass (identical in
-# both kernels — the pair isolates the prefix compile) at a CI-friendly
-# size.  Both kernels subsample from the same generator state, so the
-# pair stays byte-identical.
-OOC_MAX_CANDIDATES = 500_000
+# The out-of-core learn pair: a wide domain so the greedy grid is large
+# (the incremental engine's per-round cost is a full-grid tabulation
+# plus two full-grid searchsorteds), a high-k grid so most rounds touch
+# a small dirty span, and a candidate cap that keeps the (shared)
+# dirty-candidate rescore from drowning the per-round differential.
+if SMOKE:
+    OOC_N, OOC_STREAM, OOC_MAX_CANDIDATES = 16_384, 40_000, 25_000
+    OOC_PARAMS = GreedyParams(
+        weight_sample_size=75_000,
+        collision_sets=5,
+        collision_set_size=40_000,
+        rounds=2,
+    )
+else:
+    OOC_N, OOC_STREAM, OOC_MAX_CANDIDATES = 65_536, 120_000, 100_000
+    OOC_PARAMS = GreedyParams(
+        weight_sample_size=300_000,
+        collision_sets=5,
+        collision_set_size=150_000,
+        rounds=2,
+    )
+OOC_GRID = [(16, 0.25), (24, 0.2), (32, 0.25), (48, 0.25)]
+
+# The fleet learn pair: near-uniform streams maximise distinct grid
+# endpoints per member, so every looped incremental session pays the
+# full-grid round cost the fleet lockstep amortises away.
+LEARN_N = 16_384
+LEARN_GRID = [(16, 0.25), (32, 0.25)]
+if SMOKE:
+    LEARN_STREAM, LEARN_MAX_CANDIDATES = 15_000, 8_000
+    LEARN_PARAMS = GreedyParams(
+        weight_sample_size=15_000,
+        collision_sets=7,
+        collision_set_size=4_000,
+        rounds=2,
+    )
+else:
+    LEARN_STREAM, LEARN_MAX_CANDIDATES = 30_000, 16_000
+    LEARN_PARAMS = GreedyParams(
+        weight_sample_size=30_000,
+        collision_sets=7,
+        collision_set_size=8_000,
+        rounds=2,
+    )
 
 
 @lru_cache(maxsize=None)
 def _sources() -> tuple[ArraySource, ...]:
-    """64 bootstrap streams: observed columns of a zipf base (cached;
+    """Bootstrap streams: observed columns of a zipf base (cached;
     both kernels of a pair serve the same streams)."""
     base = families.zipf(N, 1.0)
     return tuple(
@@ -88,6 +136,18 @@ def _ooc_source() -> ArraySource:
     """One wide column for the out-of-core learn pair."""
     base = families.zipf(OOC_N, 1.0)
     return ArraySource(base.sample(OOC_STREAM, np.random.default_rng(5_000)), OOC_N)
+
+
+@lru_cache(maxsize=None)
+def _learn_sources() -> tuple[ArraySource, ...]:
+    """Near-uniform streams for the fleet learn pair."""
+    base = families.zipf(LEARN_N, 0.5)
+    return tuple(
+        ArraySource(
+            base.sample(LEARN_STREAM, np.random.default_rng(2_000 + f)), LEARN_N
+        )
+        for f in range(FLEET_SIZE)
+    )
 
 
 def _serving_shard():
@@ -115,21 +175,64 @@ def _serving_loop():
 
 
 def _learn_shard():
-    """One big learn with the sharded compile (4 shards, 4 workers)."""
+    """The high-k grid through the lockstep engine (sharded compile +
+    cached score terms), one fresh session per call."""
     session = HistogramSession(
-        _ooc_source(), OOC_N, rng=0, learn_budget=OOC_PARAMS, executor=EXECUTOR
+        _ooc_source(),
+        OOC_N,
+        rng=0,
+        engine="lockstep",
+        learn_budget=OOC_PARAMS,
+        executor=EXECUTOR,
     )
-    return session.learn(8, 0.25, max_candidates=OOC_MAX_CANDIDATES)
+    return session.learn_many(OOC_GRID, max_candidates=OOC_MAX_CANDIDATES)
 
 
 def _learn_loop():
-    """The same learn through the monolithic single-buffer compile."""
-    session = HistogramSession(_ooc_source(), OOC_N, rng=0, learn_budget=OOC_PARAMS)
-    return session.learn(8, 0.25, max_candidates=OOC_MAX_CANDIDATES)
+    """The same grid through the serial incremental engine."""
+    session = HistogramSession(
+        _ooc_source(), OOC_N, rng=0, engine="incremental", learn_budget=OOC_PARAMS
+    )
+    return session.learn_many(OOC_GRID, max_candidates=OOC_MAX_CANDIDATES)
+
+
+def _learn_fleet():
+    """64 members x 2 grid points as one ``learn_many`` lockstep."""
+    fleet = HistogramFleet(
+        _learn_sources(),
+        LEARN_N,
+        rngs=_SEEDS,
+        engine="lockstep",
+        learn_budget=LEARN_PARAMS,
+        executor=EXECUTOR,
+    )
+    return fleet.learn_many(LEARN_GRID, max_candidates=LEARN_MAX_CANDIDATES)
+
+
+def _learn_fleet_loop():
+    """The same grid, one fresh incremental session per member."""
+    return [
+        HistogramSession(
+            source,
+            LEARN_N,
+            rng=seed,
+            engine="incremental",
+            learn_budget=LEARN_PARAMS,
+        ).learn_many(LEARN_GRID, max_candidates=LEARN_MAX_CANDIDATES)
+        for source, seed in zip(_learn_sources(), _SEEDS)
+    ]
+
+
+def _assert_same_histograms(results, reference):
+    for result, expected in zip(results, reference):
+        assert np.array_equal(result.histogram.values, expected.histogram.values)
+        assert np.array_equal(
+            result.histogram.boundaries, expected.histogram.boundaries
+        )
 
 
 def test_shard_serving_64(benchmark):
-    """64-stream sweep, workers=4 executor (bar: >= 2.5x over the loop)."""
+    """64-stream sweep, workers=4 executor (bar: >= 2x over the loop)."""
     results = benchmark.pedantic(
         _serving_shard, rounds=4, iterations=1, warmup_rounds=1
     )
@@ -145,20 +248,35 @@ def test_shard_serving_64_loop(benchmark):
 
 
 def test_shard_learn_outofcore(benchmark):
-    """Out-of-core-scale learn through the sharded compile."""
-    result = benchmark.pedantic(
+    """Out-of-core-scale learn grid through the lockstep engine
+    (bar: >= 2x over the incremental loop)."""
+    results = benchmark.pedantic(
         _learn_shard, rounds=2, iterations=1, warmup_rounds=1
     )
-    reference = _learn_loop()
-    assert np.array_equal(result.histogram.values, reference.histogram.values)
-    assert np.array_equal(
-        result.histogram.boundaries, reference.histogram.boundaries
-    )
+    _assert_same_histograms(results, _learn_loop())
 
 
 def test_shard_learn_outofcore_loop(benchmark):
-    """The monolithic-compile baseline for the out-of-core learn."""
-    result = benchmark.pedantic(
+    """The incremental-engine baseline for the out-of-core learn grid."""
+    results = benchmark.pedantic(
         _learn_loop, rounds=2, iterations=1, warmup_rounds=1
     )
-    assert result.histogram.num_pieces >= 1
+    assert len(results) == len(OOC_GRID)
+
+
+def test_shard_learn_fleet_64(benchmark):
+    """64-member ``learn_many`` lockstep, workers=4, cold compile
+    included (bar: >= 2x over the looped sessions)."""
+    results = benchmark.pedantic(
+        _learn_fleet, rounds=2, iterations=1, warmup_rounds=1
+    )
+    for member, reference in zip(results, _learn_fleet_loop()):
+        _assert_same_histograms(member, reference)
+
+
+def test_shard_learn_fleet_64_loop(benchmark):
+    """The looped incremental-session baseline for the fleet learn."""
+    results = benchmark.pedantic(
+        _learn_fleet_loop, rounds=2, iterations=1, warmup_rounds=1
+    )
+    assert len(results) == FLEET_SIZE

@@ -20,8 +20,13 @@ compilation, and a Python-level binary search per probe — ``F`` times.
   ``min_k`` run every member's Algorithm 2 search in lockstep
   (:func:`repro.core.tester.fleet_flat_partition`), batching fresh
   flatness statistics across members while each member keeps its own
-  verdict memo; ``learn`` runs the greedy rounds per member over
-  fleet-compiled sketches.
+  verdict memo;
+* **lockstep learning** — ``learn`` / ``learn_many`` (on the default
+  ``engine="lockstep"``) drive every member's Algorithm-1 greedy rounds
+  together (:func:`repro.core.lockstep.lockstep_learn`): one
+  rescore/argmin/commit pass per round over all still-active members'
+  stacked score state, with large-grid rescores optionally fanned over
+  the executor's pool.
 
 The binding contract mirrors the session and engine PRs before it: every
 fleet operation is **byte-identical** — verdicts, learned histograms,
@@ -41,6 +46,7 @@ from repro.api.session import HistogramSession
 from repro.api.shard import _compile_member_rows
 from repro.core.flatness import FleetTesterSketches
 from repro.core.greedy import compile_greedy_sketches
+from repro.core.lockstep import LockstepRun, lockstep_learn
 from repro.core.params import GreedyParams, TesterParams
 from repro.core.results import LearnResult, TestResult
 from repro.core.selection import SelectionResult, select_min_k_on_fleet
@@ -71,7 +77,9 @@ class HistogramFleet:
     scale / method / engine / tester_engine / learn_budget /
     test_budget / max_candidates:
         As in :class:`~repro.api.HistogramSession`, applied to every
-        member.
+        member — except the fleet's learner ``engine`` defaults to
+        ``"lockstep"``, the batched path (byte-identical to the
+        sessions' ``"incremental"`` default).
     executor:
         Optional :class:`~repro.api.ParallelExecutor`, shared by every
         member session.  With a parallel executor the fleet's tester
@@ -98,7 +106,7 @@ class HistogramFleet:
         rng: "int | None | np.random.Generator" = None,
         scale: float = 1.0,
         method: str = "fast",
-        engine: str = "incremental",
+        engine: str = "lockstep",
         tester_engine: str = "compiled",
         learn_budget: GreedyParams | None = None,
         test_budget: TesterParams | None = None,
@@ -206,18 +214,63 @@ class HistogramFleet:
         Pools are grown for all listed members first (one planned pass),
         then members missing a compiled grid for this configuration are
         compiled through the sort-free dense builder and planted into
-        their sessions' caches; the greedy rounds themselves run through
-        :meth:`HistogramSession.learn`, so results are the session's
-        results, byte for byte.  ``members`` restricts the op to a
-        subset of the fleet (results come back in the listed order) —
-        the entry point serving batches and partial maintainer rebuilds
-        coalesce into.
+        their sessions' caches.  On the default ``engine="lockstep"``
+        the members' greedy rounds then run *together* — one
+        rescore/argmin/commit pass per round across the active members
+        (:func:`repro.core.lockstep.lockstep_learn`); other engines loop
+        :meth:`HistogramSession.learn`.  Either way results are the
+        sessions' results, byte for byte.  ``members`` restricts the op
+        to a subset of the fleet (results come back in the listed
+        order) — the entry point serving batches and partial maintainer
+        rebuilds coalesce into.
         """
         method = self._method if method is None else method
+        engine = self._engine if engine is None else engine
         if max_candidates is None:
             max_candidates = self._max_candidates
         members = self._members(members)
         resolved = self._sessions[0]._learn_params(k, epsilon, params)
+        compiled = self._ensure_learn_compiled(
+            members, resolved, method, max_candidates
+        )
+        if engine == "lockstep":
+            runs = [
+                LockstepRun(
+                    compiled=member_compiled,
+                    params=resolved,
+                    method=method,
+                    n=self._n,
+                )
+                for member_compiled in compiled
+            ]
+            return lockstep_learn(runs, executor=self._executor)
+        return [
+            self._sessions[member].learn(
+                k,
+                epsilon,
+                method=method,
+                engine=engine,
+                params=params,
+                max_candidates=max_candidates,
+            )
+            for member in members
+        ]
+
+    def _ensure_learn_compiled(
+        self,
+        members: "list[int]",
+        resolved: GreedyParams,
+        method: str,
+        max_candidates: int | None,
+    ) -> "list":
+        """Grow pools and plant compiled grids for ``members``, in order.
+
+        Pool draws and any candidate-cap rng consumption happen member
+        by member in the listed order — exactly the order looped
+        sessions would use — which is what keeps every downstream learn
+        route (looped, lockstep, fanned) seed-for-seed replayable.
+        Returns each member's compiled sketches, positionally.
+        """
         key = (
             method,
             max_candidates,
@@ -234,36 +287,27 @@ class HistogramFleet:
             <= 4 * resolved.collision_sets * resolved.collision_set_size
             else "sorted"
         )
+        compiled_members = []
         for member in members:
             session = self._sessions[member]
             bundle = session._bundle
             samples = bundle.learn_samples(resolved)
-            if key in bundle._compiled_cache:
-                continue
-            compiled = compile_greedy_sketches(
-                samples,
-                self._n,
-                method=method,
-                max_candidates=max_candidates,
-                rng=session._rng,
-                prefixes=prefixes,
-                executor=self._executor,
-            )
-            bundle.adopt_compiled_sketches(
-                resolved, method=method, max_candidates=max_candidates,
-                compiled=compiled,
-            )
-        return [
-            self._sessions[member].learn(
-                k,
-                epsilon,
-                method=method,
-                engine=engine,
-                params=params,
-                max_candidates=max_candidates,
-            )
-            for member in members
-        ]
+            if key not in bundle._compiled_cache:
+                compiled = compile_greedy_sketches(
+                    samples,
+                    self._n,
+                    method=method,
+                    max_candidates=max_candidates,
+                    rng=session._rng,
+                    prefixes=prefixes,
+                    executor=self._executor,
+                )
+                bundle.adopt_compiled_sketches(
+                    resolved, method=method, max_candidates=max_candidates,
+                    compiled=compiled,
+                )
+            compiled_members.append(bundle._compiled_cache[key])
+        return compiled_members
 
     def prefetch_learn(
         self,
@@ -290,10 +334,39 @@ class HistogramFleet:
         Mirrors :meth:`HistogramSession.learn_many`: pools are prefetched
         to the grid's elementwise-largest budget before any point runs,
         so the whole batch issues at most one draw event per member.
-        Returns ``results[member][point]``.
+        On the default ``engine="lockstep"`` the entire ``F x P`` batch
+        — every member at every grid point — runs its greedy rounds as
+        one lockstep (runs whose round budgets differ drop out of the
+        active mask as they converge), compile order staying point-major
+        / member-minor so rng consumption matches looped sessions draw
+        for draw.  Returns ``results[member][point]``.
         """
         points = list(grid)
         self.prefetch_learn(points, params=params)
+        engine = self._engine if engine is None else engine
+        if engine == "lockstep":
+            resolved_method = self._method if method is None else method
+            cap = self._max_candidates if max_candidates is None else max_candidates
+            members = self._members(None)
+            runs = []
+            for k, epsilon in points:
+                resolved = self._sessions[0]._learn_params(k, epsilon, params)
+                for member_compiled in self._ensure_learn_compiled(
+                    members, resolved, resolved_method, cap
+                ):
+                    runs.append(
+                        LockstepRun(
+                            compiled=member_compiled,
+                            params=resolved,
+                            method=resolved_method,
+                            n=self._n,
+                        )
+                    )
+            results = lockstep_learn(runs, executor=self._executor)
+            return [
+                [results[p * self.size + f] for p in range(len(points))]
+                for f in range(self.size)
+            ]
         per_point = [
             self.learn(
                 k,

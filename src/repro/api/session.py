@@ -40,7 +40,8 @@ import numpy as np
 
 from repro.api.sketches import SketchBundle
 from repro.api.source import SampleSource, as_sample_source
-from repro.core.greedy import learn_from_samples
+from repro.core.greedy import _ENGINES, learn_from_samples
+from repro.core.lockstep import LockstepRun, lockstep_learn
 from repro.core.params import GreedyParams, TesterParams, greedy_rounds
 from repro.core.results import LearnResult, TestResult
 from repro.core.selection import SelectionResult, select_min_k_on_sketch
@@ -72,9 +73,12 @@ class HistogramSession:
         Default learner candidate strategy, ``"fast"`` or
         ``"exhaustive"``.
     engine:
-        Default learner scoring engine, ``"incremental"`` (dirty-region
-        rescoring) or ``"full"`` (rescore everything each round; kept
-        for the equivalence tests — results are byte-identical).
+        Default learner scoring engine: ``"incremental"`` (dirty-region
+        rescoring), ``"full"`` (rescore everything each round; kept for
+        the equivalence tests), or ``"lockstep"`` (cached per-grid-point
+        score terms with dirty-span refresh — the engine fleets batch
+        across members, see :mod:`repro.core.lockstep`).  All three are
+        byte-identical.
     tester_engine:
         Default tester flatness engine, ``"compiled"`` (precompiled
         prefix gathers plus a memoised oracle, shared across every
@@ -115,9 +119,9 @@ class HistogramSession:
     ) -> None:
         if int(n) != n or n < 1:
             raise InvalidParameterError(f"n must be a positive integer, got {n!r}")
-        if engine not in ("incremental", "full"):
+        if engine not in _ENGINES:
             raise InvalidParameterError(
-                f"engine must be one of ('incremental', 'full'), got {engine!r}"
+                f"engine must be one of {_ENGINES}, got {engine!r}"
             )
         validate_tester_engine(tester_engine)
         self._source: SampleSource = as_sample_source(source, n)
@@ -230,6 +234,7 @@ class HistogramSession:
             method=method,
             engine=engine,
             compiled=compiled,
+            executor=self._executor,
         )
 
     def prefetch_learn(
@@ -270,10 +275,34 @@ class HistogramSession:
 
         The whole grid is planned before anything is drawn
         (:meth:`prefetch_learn`), so the batch issues at most one draw
-        event for the learn family regardless of grid size.
+        event for the learn family regardless of grid size.  On the
+        lockstep engine the points additionally run their greedy rounds
+        *together* (one rescore/argmin/commit pass per round across the
+        batch, :func:`repro.core.lockstep.lockstep_learn`) — results
+        stay byte-identical to calling :meth:`learn` per point.
         """
         points = list(grid)
         self.prefetch_learn(points, params=params)
+        engine = self._engine if engine is None else engine
+        if engine == "lockstep":
+            method = self._method if method is None else method
+            if max_candidates is None:
+                max_candidates = self._max_candidates
+            runs = []
+            for k, epsilon in points:
+                resolved = self._learn_params(k, epsilon, params)
+                _, compiled = self._bundle.compiled_sketches(
+                    resolved, method=method, max_candidates=max_candidates
+                )
+                runs.append(
+                    LockstepRun(
+                        compiled=compiled,
+                        params=resolved,
+                        method=method,
+                        n=self._n,
+                    )
+                )
+            return lockstep_learn(runs, executor=self._executor)
         return [
             self.learn(
                 k,

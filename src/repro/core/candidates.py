@@ -98,13 +98,55 @@ def all_interval_candidates(n: int) -> CandidateSet:
     return CandidateSet(grid, lo.astype(np.int64), hi.astype(np.int64))
 
 
-def sample_endpoint_candidates(samples: np.ndarray, n: int) -> CandidateSet:
+def _triu_pairs(
+    count: int, max_candidates: int | None, rng: int | None | np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(i, j)`` row/column pairs of the ``count x count`` upper triangle.
+
+    With a cap smaller than the ``count (count + 1) / 2`` total, the kept
+    flat positions are drawn with the *same* single
+    ``choice(total, size=cap, replace=False)`` call (plus sort) that
+    :meth:`CandidateSet.subsample` would make on the materialised set, and
+    inverted to ``(i, j)`` arithmetically — so a capped build never
+    allocates the full pair arrays yet consumes the generator identically
+    and keeps identical candidates.  Uncapped (or a cap at/above the
+    total) touches the generator not at all, exactly like ``subsample``'s
+    early return.
+    """
+    total = count * (count + 1) // 2
+    if max_candidates is None or total <= max_candidates:
+        i_idx, j_idx = np.triu_indices(count, k=0)
+        return i_idx.astype(np.int64), j_idx.astype(np.int64)
+    keep = as_rng(rng).choice(total, size=max_candidates, replace=False)
+    keep.sort()
+    # Row i starts at flat position i*count - i*(i-1)/2; invert by
+    # binary search, then recover the column offset within the row.
+    rows = np.arange(count, dtype=np.int64)
+    row_starts = rows * count - rows * (rows - 1) // 2
+    i_idx = np.searchsorted(row_starts, keep, side="right") - 1
+    j_idx = keep - row_starts[i_idx] + i_idx
+    return i_idx.astype(np.int64), j_idx.astype(np.int64)
+
+
+def sample_endpoint_candidates(
+    samples: np.ndarray,
+    n: int,
+    *,
+    max_candidates: int | None = None,
+    rng: int | None | np.random.Generator = None,
+) -> CandidateSet:
     """Theorem 2's restricted candidates.
 
     ``T' = {min(i+1, n-1), i, max(i-1, 0) : i in T}`` for the distinct
     sample values ``T`` (0-based translation of the paper's set), and the
     candidates are all closed intervals ``[a, b]`` with ``a <= b`` in
     ``T'`` — here represented half-open as ``[a, b + 1)``.
+
+    ``max_candidates`` caps the pair count *lazily*: the kept pairs are
+    chosen before any per-pair array exists (see :func:`_triu_pairs`),
+    byte- and rng-identical to building everything and calling
+    :meth:`CandidateSet.subsample` — which matters out of core, where
+    ``|T'|^2`` pairs would dwarf every other allocation of a learn.
     """
     samples = np.asarray(samples, dtype=np.int64)
     if int(n) != n or n < 1:
@@ -128,7 +170,7 @@ def sample_endpoint_candidates(samples: np.ndarray, n: int) -> CandidateSet:
     grid = np.unique(np.concatenate([t_prime, t_prime + 1, [0, n]]))
     starts_idx = np.searchsorted(grid, t_prime)
     stops_idx = np.searchsorted(grid, t_prime + 1)
-    i_idx, j_idx = np.triu_indices(t_prime.size, k=0)
+    i_idx, j_idx = _triu_pairs(t_prime.size, max_candidates, rng)
     return CandidateSet(
         grid,
         starts_idx[i_idx].astype(np.int64),

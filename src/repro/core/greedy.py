@@ -58,6 +58,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -77,10 +78,29 @@ from repro.utils.prefix import pairs_count
 from repro.utils.rng import as_rng
 
 _METHODS = ("fast", "exhaustive")
-_ENGINES = ("incremental", "full")
+_ENGINES = ("incremental", "full", "lockstep")
 _SCORE_CHUNK = 200_000
 _GATHER_CHUNK = 1_000_000
 _ARGMIN_BLOCK = 2_048
+
+
+def _score_gather(
+    self_costs: np.ndarray,
+    removed_pair: np.ndarray,
+    left_at: np.ndarray,
+    right_at: np.ndarray,
+) -> np.ndarray:
+    """``rel = self - removed + left + right`` over pre-gathered operands.
+
+    The one arithmetic spelling of the incremental decomposition, shared
+    by every engine (and the lockstep rescore workers): the float op
+    order here is part of the byte-identity contract, so nobody spells
+    it twice.
+    """
+    rel = self_costs - removed_pair
+    rel = rel + left_at
+    rel = rel + right_at
+    return rel
 
 
 def _piece_costs(
@@ -173,6 +193,8 @@ class _GreedyEngine:
         pairs_per_set: float,
         self_costs: np.ndarray,
         incremental: bool = True,
+        rel_buffer: np.ndarray | None = None,
+        block_min_buffer: np.ndarray | None = None,
     ) -> None:
         self._cands = candidates
         self._grid = candidates.grid
@@ -194,10 +216,24 @@ class _GreedyEngine:
         self._dirty_lo = 0
         self._dirty_hi = last
 
-        self._rel = np.full(candidates.size, np.inf)
+        # ``rel`` lives padded to a whole number of argmin blocks (the
+        # pad stays +inf forever) so block repair is one reshaped
+        # ``min(axis=1)`` instead of a Python loop per touched block.
+        # Callers may inject the buffers — the lockstep engine carves
+        # per-run views out of flat (shared-memory) slabs here.
         self._block = _ARGMIN_BLOCK
         num_blocks = max(1, -(-candidates.size // self._block))
-        self._block_min = np.full(num_blocks, np.inf)
+        padded = num_blocks * self._block
+        if rel_buffer is None:
+            rel_buffer = np.empty(padded, dtype=np.float64)
+        if block_min_buffer is None:
+            block_min_buffer = np.empty(num_blocks, dtype=np.float64)
+        rel_buffer[:] = np.inf
+        block_min_buffer[:] = np.inf
+        self._rel_padded = rel_buffer
+        self._rel = rel_buffer[: candidates.size]
+        self._rel_blocks = rel_buffer.reshape(num_blocks, self._block)
+        self._block_min = block_min_buffer
 
     # -------------------------------------------------------------- #
     # estimate queries (grid-index space, vectorised)
@@ -234,7 +270,18 @@ class _GreedyEngine:
             dirty_lo, dirty_hi = 0, self._grid.size - 1
         dirty = self._cands.intersecting(dirty_lo, dirty_hi)
         self._rescore(dirty)
-        best = self._argmin()
+        return self.commit_best(int(dirty.size))
+
+    def commit_best(self, rescored: int, best: int | None = None) -> RoundReport:
+        """Commit the current argmin and report the round's diff.
+
+        Split from :meth:`run_round` so the lockstep driver — which owns
+        the rescore phase (cached terms, optional executor fan) — shares
+        the exact commit arithmetic and trace packaging with the serial
+        engines.
+        """
+        if best is None:
+            best = self._argmin()
         # ``total`` is shared by every candidate this round; summed fresh
         # from the cached per-segment costs so both engine modes agree.
         total = float(np.sum(np.asarray(self._seg_cost, dtype=np.float64)))
@@ -251,7 +298,7 @@ class _GreedyEngine:
             chosen=chosen,
             value=chosen_y / chosen.length,
             neighbours=neighbours,
-            rescored=int(dirty.size),
+            rescored=rescored,
         )
 
     def _rescore(self, indices: np.ndarray) -> None:
@@ -294,13 +341,25 @@ class _GreedyEngine:
             part = indices[start : start + _GATHER_CHUNK]
             cand_lo = self._cands.lo[part]
             cand_hi = self._cands.hi[part]
-            rel = self._self_cost[part] - removed[ia[cand_lo], ib[cand_hi]]
-            rel = rel + left_term[cand_lo]
-            rel = rel + right_term[cand_hi]
-            self._rel[part] = rel
-        for b in np.unique(indices // self._block):
-            begin = int(b) * self._block
-            self._block_min[b] = self._rel[begin : begin + self._block].min()
+            self._rel[part] = _score_gather(
+                self._self_cost[part],
+                removed[ia[cand_lo], ib[cand_hi]],
+                left_term[cand_lo],
+                right_term[cand_hi],
+            )
+        self._repair_blocks(indices)
+
+    def _repair_blocks(self, indices: np.ndarray) -> None:
+        """Recompute block minima for the blocks ``indices`` touch.
+
+        ``indices`` ascends (``np.nonzero`` order), so consecutive
+        deduplication finds each touched block once, and the padded
+        reshaped view turns the repair into one fancy-indexed
+        ``min(axis=1)`` — no Python loop over blocks.
+        """
+        blocks = indices // self._block
+        touched = blocks[np.flatnonzero(np.diff(blocks, prepend=-1))]
+        self._block_min[touched] = self._rel_blocks[touched].min(axis=1)
 
     def _argmin(self) -> int:
         """Global first-minimum via the block minima (ties break low)."""
@@ -537,12 +596,18 @@ def compile_greedy_sketches(
         raise InvalidParameterError(
             f"prefixes must be 'sorted' or 'dense', got {prefixes!r}"
         )
+    started = perf_counter()
     if method == "fast":
-        candidates = sample_endpoint_candidates(samples.weight_samples, n)
+        # The lazy capped build never materialises the uncapped pair
+        # arrays, yet consumes ``rng`` and picks candidates exactly like
+        # building everything then subsampling (see ``_triu_pairs``).
+        candidates = sample_endpoint_candidates(
+            samples.weight_samples, n, max_candidates=max_candidates, rng=rng
+        )
     else:
         candidates = all_interval_candidates(n)
-    if max_candidates is not None:
-        candidates = candidates.subsample(max_candidates, as_rng(rng))
+        if max_candidates is not None:
+            candidates = candidates.subsample(max_candidates, as_rng(rng))
 
     from repro.samples.collision import batched_pair_prefixes, dense_interval_prefixes
     from repro.samples.sample_set import SampleSet
@@ -595,6 +660,8 @@ def compile_greedy_sketches(
         pair_prefix_cols,
         pairs_per_set,
     )
+    if executor is not None and hasattr(executor, "record_timing"):
+        executor.record_timing("compile", perf_counter() - started)
     return CompiledGreedySketches(
         candidates,
         weight_set,
@@ -602,6 +669,44 @@ def compile_greedy_sketches(
         pair_prefix_cols,
         self_costs,
         pairs_per_set,
+    )
+
+
+def _package_result(
+    engine_obj: _GreedyEngine,
+    reports: list[RoundReport],
+    n: int,
+    params: GreedyParams,
+    method: str,
+) -> LearnResult:
+    """Package a finished engine + its round reports as a LearnResult.
+
+    Shared by every engine route (serial and lockstep) so trace and
+    accounting packaging is spelled once.
+    """
+    size = engine_obj._cands.size
+    trace: list[tuple[Interval, float, list[tuple[Interval, float]]]] = []
+    rounds: list[GreedyRound] = []
+    for round_index, report in enumerate(reports):
+        trace.append((report.chosen, report.value, report.neighbours))
+        rounds.append(
+            GreedyRound(
+                round_index=round_index,
+                chosen=report.chosen,
+                weight_estimate=report.weight_estimate,
+                estimated_cost=report.cost,
+                candidates_evaluated=size,
+            )
+        )
+    return LearnResult(
+        histogram=engine_obj.to_tiling(n),
+        priority_histogram=_build_priority_log(n, trace),
+        params=params,
+        rounds=rounds,
+        method=method,
+        num_candidates=size,
+        samples_used=params.total_samples,
+        filled_histogram=engine_obj.to_tiling(n, fill_gaps=True),
     )
 
 
@@ -617,6 +722,7 @@ def learn_from_samples(
     max_candidates: int | None = None,
     rng: int | None | np.random.Generator = None,
     compiled: CompiledGreedySketches | None = None,
+    executor: "object | None" = None,
 ) -> LearnResult:
     """Run the greedy rounds on already-drawn samples (no source access).
 
@@ -627,9 +733,16 @@ def learn_from_samples(
     samples) to skip the grid/prefix compilation.
 
     ``engine`` selects ``"incremental"`` (dirty-region rescoring, the
-    default) or ``"full"`` (rescore every candidate every round — the
-    reference path the equivalence tests compare against); the two are
+    default), ``"full"`` (rescore every candidate every round — the
+    reference path the equivalence tests compare against), or
+    ``"lockstep"`` (cached per-grid-point score terms with dirty-span
+    refresh, the engine :class:`repro.api.HistogramFleet` batches across
+    members — see :mod:`repro.core.lockstep`); all three are
     byte-identical by construction.
+
+    ``executor`` (a :class:`repro.api.ParallelExecutor`) is forwarded to
+    the compile step and, on the lockstep route, to the rescore fan —
+    results never depend on it.
     """
     if method not in _METHODS:
         raise InvalidParameterError(f"method must be one of {_METHODS}, got {method!r}")
@@ -645,11 +758,20 @@ def learn_from_samples(
         )
     if compiled is None:
         compiled = compile_greedy_sketches(
-            samples, n, method=method, max_candidates=max_candidates, rng=rng
+            samples,
+            n,
+            method=method,
+            max_candidates=max_candidates,
+            rng=rng,
+            executor=executor,
         )
-    candidates = compiled.candidates
+    if engine == "lockstep":
+        from repro.core.lockstep import LockstepRun, lockstep_learn
+
+        run = LockstepRun(compiled=compiled, params=params, method=method, n=n)
+        return lockstep_learn([run], executor=executor)[0]
     engine_obj = _GreedyEngine(
-        candidates,
+        compiled.candidates,
         compiled.weight_prefix,
         compiled.weight_set.size,
         compiled.pair_prefix_cols,
@@ -657,32 +779,8 @@ def learn_from_samples(
         compiled.self_costs,
         incremental=(engine == "incremental"),
     )
-
-    rounds: list[GreedyRound] = []
-    trace: list[tuple[Interval, float, list[tuple[Interval, float]]]] = []
-    for round_index in range(params.rounds):
-        report = engine_obj.run_round()
-        trace.append((report.chosen, report.value, report.neighbours))
-        rounds.append(
-            GreedyRound(
-                round_index=round_index,
-                chosen=report.chosen,
-                weight_estimate=report.weight_estimate,
-                estimated_cost=report.cost,
-                candidates_evaluated=candidates.size,
-            )
-        )
-
-    return LearnResult(
-        histogram=engine_obj.to_tiling(n),
-        priority_histogram=_build_priority_log(n, trace),
-        params=params,
-        rounds=rounds,
-        method=method,
-        num_candidates=candidates.size,
-        samples_used=params.total_samples,
-        filled_histogram=engine_obj.to_tiling(n, fill_gaps=True),
-    )
+    reports = [engine_obj.run_round() for _ in range(params.rounds)]
+    return _package_result(engine_obj, reports, n, params, method)
 
 
 def learn_histogram(

@@ -164,7 +164,7 @@ class HistogramService:
         refresh_every: int | None = None,
         params: GreedyParams | None = None,
         tester_params: TesterParams | None = None,
-        engine: str = "incremental",
+        engine: str = "lockstep",
         tester_engine: str = "compiled",
         rng: "int | None | np.random.Generator" = None,
     ) -> None:
@@ -239,9 +239,25 @@ class HistogramService:
         return self._config
 
     @property
-    def stats(self) -> dict[str, int]:
-        """Serving counters: submitted/served/rejected/batches/..."""
-        return dict(self._stats)
+    def stats(self) -> dict:
+        """Serving counters plus per-phase learn timing buckets.
+
+        ``timings`` mirrors the executor's cumulative
+        compile/rescore/argmin/commit wall-clock
+        (:meth:`~repro.api.ParallelExecutor.record_timing`); a purely
+        serial service reports zeroed buckets.
+        """
+        stats: dict = dict(self._stats)
+        if self._executor is not None:
+            stats["timings"] = dict(self._executor.health()["timings"])
+        else:
+            stats["timings"] = {
+                "compile": 0.0,
+                "rescore": 0.0,
+                "argmin": 0.0,
+                "commit": 0.0,
+            }
+        return stats
 
     def health(self) -> dict:
         """One structured snapshot of service and executor health.

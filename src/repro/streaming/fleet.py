@@ -50,7 +50,9 @@ class FleetMaintainer:
         Explicit learner sizes; defaults to a budget matched to the
         reservoir, as in the single-stream maintainer.
     engine / tester_engine:
-        Forwarded to the fleet (learner scoring / flatness engines).
+        Forwarded to the fleet (learner scoring / flatness engines);
+        rebuild waves default to the fleet's batched ``"lockstep"``
+        learner, byte-identical to the serial engines.
     rng:
         Base seed; one independent child generator is spawned per
         stream (reservoir and session draws share it, mirroring the
@@ -74,7 +76,7 @@ class FleetMaintainer:
         refresh_every: int | None = None,
         reservoir_capacity: int = 4096,
         params: GreedyParams | None = None,
-        engine: str = "incremental",
+        engine: str = "lockstep",
         tester_engine: str = "compiled",
         rng: "int | None | np.random.Generator" = None,
         executor: "object | None" = None,

@@ -4,7 +4,7 @@ answers a pinned workload identically.
 One fixed operation script (learn + l2/l1 tester grid + min-k) runs at
 pinned seeds through every combination of
 
-* learner engine         — ``incremental`` / ``full``,
+* learner engine         — ``incremental`` / ``full`` / ``lockstep``,
 * tester (flatness) engine — ``compiled`` / ``full``,
 * sample source          — :class:`ArraySource` / :class:`CountingSource`,
 * driver                 — a :class:`HistogramSession` loop /
@@ -52,7 +52,12 @@ LEARN_PARAMS = GreedyParams(
 )
 TEST_GRID = [(2, 0.3), (4, 0.25)]
 
-ENGINES = ("incremental", "full")
+ENGINES = ("incremental", "full", "lockstep")
+# The learn-engine axis of the shard/chaos matrices: "full" never
+# interacts with the executor (it is covered against "incremental"
+# through the main matrix), while "lockstep" must additionally hold
+# with its rescore fan forced on (learn_fan_min_candidates=1).
+SHARD_LEARN_ENGINES = ("incremental", "lockstep")
 TESTER_ENGINES = ("compiled", "full")
 SOURCE_KINDS = ("array", "counting")
 DRIVERS = ("session", "fleet")
@@ -178,7 +183,9 @@ def test_matrix_cell_matches_reference(
 
 SHARDS = (1, 2, 7)
 WORKERS = (1, 4)
-SHARD_MATRIX = list(itertools.product(SHARDS, WORKERS, TESTER_ENGINES))
+SHARD_MATRIX = list(
+    itertools.product(SHARDS, WORKERS, TESTER_ENGINES, SHARD_LEARN_ENGINES)
+)
 
 
 @pytest.fixture(scope="module")
@@ -200,24 +207,29 @@ def shard_references():
 
 
 @pytest.mark.parametrize(
-    "shards,workers,tester_engine",
+    "shards,workers,tester_engine,engine",
     SHARD_MATRIX,
-    ids=[f"shards{s}-workers{w}-{te}" for s, w, te in SHARD_MATRIX],
+    ids=[f"shards{s}-workers{w}-{te}-{e}" for s, w, te, e in SHARD_MATRIX],
 )
 def test_shard_matrix_cell_matches_reference(
-    shards, workers, tester_engine, shard_references
+    shards, workers, tester_engine, engine, shard_references
 ):
     """Sharded + parallel execution is byte-identical to the serial
     single-buffer engine on both drivers — verdicts, histograms, query
     logs, and per-member memo accounting.  ``resolve_min_batch=1``
     forces even this tiny fleet's flatness misses through the worker
-    fan-out path when the executor is parallel."""
+    fan-out path when the executor is parallel, and
+    ``learn_fan_min_candidates=1`` forces the lockstep learner's rescore
+    fan the same way."""
     with ParallelExecutor(
-        workers, plan=ShardPlan(shards), resolve_min_batch=1
+        workers,
+        plan=ShardPlan(shards),
+        resolve_min_batch=1,
+        learn_fan_min_candidates=1,
     ) as executor:
         for driver in DRIVERS:
             outcome, memo = run_scenario(
-                "incremental",
+                engine,
                 tester_engine,
                 "array",
                 driver,
@@ -256,20 +268,23 @@ CHAOS_CELLS = [
 
 
 @pytest.mark.shm_guard
+@pytest.mark.parametrize("engine", SHARD_LEARN_ENGINES)
 @pytest.mark.parametrize(
     "label,make_plan,max_respawns,must_degrade",
     CHAOS_CELLS,
     ids=[cell[0] for cell in CHAOS_CELLS],
 )
 def test_chaos_cell_matches_reference(
-    label, make_plan, max_respawns, must_degrade, shard_references
+    label, make_plan, max_respawns, must_degrade, engine, shard_references
 ):
     """Every rung of the fault-recovery ladder is byte-identical.
 
     Workers SIGKILLed mid-batch (respawned, or driven all the way to
     inline degradation), stalled workers, and failed slab allocations
     must reproduce the serial reference cell exactly — verdicts,
-    histograms, query logs, and memo accounting."""
+    histograms, query logs, and memo accounting.  The lockstep cells run
+    with the learner's rescore fan forced on, so kills land mid
+    learn-round too."""
     plan = make_plan()
     with ParallelExecutor(
         4,
@@ -277,10 +292,11 @@ def test_chaos_cell_matches_reference(
         resolve_min_batch=1,
         max_respawns=max_respawns,
         faults=plan,
+        learn_fan_min_candidates=1,
     ) as executor:
         for driver in DRIVERS:
             outcome, memo = run_scenario(
-                "incremental",
+                engine,
                 "compiled",
                 "array",
                 driver,
