@@ -195,6 +195,36 @@ class HistogramFleet:
                 fleet_sketches.drop_member(index)
 
     # -------------------------------------------------------------- #
+    # persistence
+    # -------------------------------------------------------------- #
+
+    def snapshot(self, path) -> None:
+        """Write every member's warm state to one snapshot file.
+
+        The stacked ``(F, n+1, r)`` tester slabs are not persisted —
+        a restored fleet re-adopts each member's compiled layout into
+        fresh stacks on the next operation, byte-identically.
+        """
+        from repro.persist import codec, format as persist_format
+
+        meta, slabs = codec.fleet_state(self)
+        persist_format.write_snapshot(path, kind="fleet", meta=meta, slabs=slabs)
+
+    def restore(self, path) -> None:
+        """Adopt a whole-fleet snapshot in place (zero-copy per member).
+
+        The snapshot must come from a fleet of the same shape and
+        configuration (``n``, member count, engines); anything else —
+        including a missing or corrupt file — raises
+        :class:`~repro.errors.SnapshotError` and leaves the fleet able
+        to rebuild cold.
+        """
+        from repro.persist import codec, format as persist_format
+
+        snap = persist_format.load_snapshot(path, kind="fleet")
+        codec.restore_fleet(self, snap.meta, snap.slab)
+
+    # -------------------------------------------------------------- #
     # learning
     # -------------------------------------------------------------- #
 

@@ -171,6 +171,23 @@ class HistogramSession:
         """
         self._bundle.invalidate()
 
+    def snapshot(self, path) -> None:
+        """Write this session's warm state (pools, sketches, rng) to ``path``.
+
+        See :meth:`repro.api.SketchBundle.snapshot`; the write is
+        crash-safe (temp file + fsync + atomic rename).
+        """
+        self._bundle.snapshot(path)
+
+    def restore(self, path) -> None:
+        """Adopt a snapshot's warm state in place (zero-copy mmap views).
+
+        Raises :class:`~repro.errors.SnapshotError` on a missing,
+        corrupt, or mismatched snapshot — the session stays usable and
+        rebuilds cold.  See :meth:`repro.api.SketchBundle.restore`.
+        """
+        self._bundle.restore(path)
+
     # -------------------------------------------------------------- #
     # parameter resolution
     # -------------------------------------------------------------- #

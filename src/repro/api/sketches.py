@@ -320,6 +320,42 @@ class SketchBundle:
         return multi, compiled
 
     # -------------------------------------------------------------- #
+    # persistence
+    # -------------------------------------------------------------- #
+
+    def snapshot(self, path) -> None:
+        """Write this bundle's warm state to a snapshot file.
+
+        Persists the sample pools, every compiled greedy/tester cache
+        entry (verdict memos and accounting included), the draw
+        counters, and the generator state — everything a restored
+        bundle needs to answer byte-identically and to continue drawing
+        the same stream of samples.  The write is crash-safe (temp file
+        + fsync + atomic rename; see :mod:`repro.persist.format`).
+        """
+        from repro.persist import codec, format as persist_format
+
+        meta, slabs = codec.bundle_state(self)
+        persist_format.write_snapshot(path, kind="bundle", meta=meta, slabs=slabs)
+
+    def restore(self, path) -> None:
+        """Adopt a snapshot's warm state in place (zero-copy).
+
+        Compiled slabs arrive as read-only ``np.memmap`` views planted
+        through the same cache keys :meth:`compiled_sketches` /
+        :meth:`compiled_tester` use; pools serve views off the mapped
+        file and copy out only if they later grow.  Raises
+        :class:`~repro.errors.SnapshotError` on any mismatch (missing
+        or corrupt file, wrong domain size) without touching state
+        beyond an :meth:`invalidate` — the caller's cold path still
+        works.
+        """
+        from repro.persist import codec, format as persist_format
+
+        snap = persist_format.load_snapshot(path, kind="bundle")
+        codec.restore_bundle(self, snap.meta, snap.slab)
+
+    # -------------------------------------------------------------- #
     # fleet plants (precompiled structures adopted into the caches)
     # -------------------------------------------------------------- #
 

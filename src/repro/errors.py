@@ -85,6 +85,33 @@ class DeadlineExceededError(ReproError):
     fresh budget."""
 
 
+class SlabUnavailableError(ReproError):
+    """A shared-memory slab's segment is gone (or no longer large enough).
+
+    Raised by :meth:`repro.utils.shm.SharedSlab.attach` when the named
+    segment was unlinked and not re-created — the owning executor
+    closed, or the handle outlived the parent that registered it — or
+    when the name was recycled for a segment too small to back the
+    slab's ``shape * itemsize``.  Structured (instead of the raw
+    ``FileNotFoundError`` the OS reports) so the serving taxonomy can
+    classify the failure rather than reporting ``internal``."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot file cannot be restored (and a cold rebuild should run).
+
+    Raised by :mod:`repro.persist` on any malformed-snapshot condition —
+    missing file, bad magic, format-version or kind mismatch, truncated
+    payload, checksum mismatch, or a configuration fingerprint that does
+    not match the restoring instance.  Carries ``reason``, a short
+    stable code naming the condition; every restore seam catches this
+    and falls back to a cold rebuild, never a crash."""
+
+    def __init__(self, message: str, *, reason: str = "invalid") -> None:
+        super().__init__(message)
+        self.reason = str(reason)
+
+
 class InjectedFaultError(ReproError):
     """A deterministic chaos fault fired (:class:`repro.utils.faults.FaultPlan`).
 

@@ -1,0 +1,236 @@
+"""The snapshot file format: versioned header + page-aligned slab payloads.
+
+One snapshot file carries everything a restore needs::
+
+    offset 0     MAGIC (8 bytes, b"REPROSNP")
+    offset 8     header length (uint64, little-endian)
+    offset 16    header: UTF-8 JSON
+                   {format_version, kind, meta, slabs: [manifest...]}
+    ...          zero padding to the next 4096-byte boundary
+    data start   slab payloads, each page-aligned, in manifest order
+
+Each manifest entry records ``{name, dtype, shape, offset, nbytes,
+crc32}`` with ``offset`` relative to the page-aligned data start, so the
+header can be sized *after* the payload layout is fixed without a
+circular dependency.  ``meta`` is the caller's JSON document — compile
+parameters, rng state fingerprints, memo tables — and ``kind`` names the
+producing layer (``bundle`` / ``fleet`` / ``maintainer`` / ``service``)
+so a restore seam never maps a snapshot from the wrong layer.
+
+:func:`load_snapshot` maps the file once with :func:`numpy.memmap` and
+hands out zero-copy *read-only* views; payload checksums are verified up
+front, and every malformed condition — missing file, bad magic,
+truncation, version or kind mismatch, checksum failure — surfaces as a
+structured :class:`~repro.errors.SnapshotError` whose ``reason`` names
+the condition, so restore seams degrade to a cold rebuild instead of
+crashing.
+
+:func:`write_snapshot` is crash-safe: the bytes land in a temp file in
+the destination directory, are fsynced, and are moved into place with
+``os.replace`` (followed by a directory fsync), so a crash mid-write
+leaves the previous snapshot generation untouched.  A rename also never
+invalidates mappings handed out by an earlier restore — the replaced
+inode stays alive for as long as views reference it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import SnapshotError
+
+MAGIC = b"REPROSNP"
+FORMAT_VERSION = 1
+_PAGE = 4096
+
+
+def _align(offset: int, boundary: int = _PAGE) -> int:
+    return (offset + boundary - 1) // boundary * boundary
+
+
+def _sync_file(handle) -> None:
+    """Flush one open file to stable storage (chaos-test seam)."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _sync_dir(path: str) -> None:
+    """Fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(path or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(path, *, kind: str, meta: dict, slabs: dict) -> None:
+    """Atomically write one snapshot file.
+
+    ``slabs`` maps slab names to arrays (any dtype/shape; non-contiguous
+    inputs are compacted).  ``meta`` must be JSON-serializable.  The
+    write is all-or-nothing: on any failure the destination still holds
+    whatever it held before.
+    """
+    path = os.fspath(path)
+    arrays = {name: np.ascontiguousarray(array) for name, array in slabs.items()}
+    manifest = []
+    offset = 0
+    for name, array in arrays.items():
+        offset = _align(offset)
+        manifest.append(
+            {
+                "name": str(name),
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": array.nbytes,
+                "crc32": zlib.crc32(array.data),
+            }
+        )
+        offset += array.nbytes
+    header = json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "kind": str(kind),
+            "meta": meta,
+            "slabs": manifest,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    data_start = _align(16 + len(header))
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<Q", len(header)))
+        handle.write(header)
+        handle.write(b"\0" * (data_start - 16 - len(header)))
+        cursor = 0
+        for spec, array in zip(manifest, arrays.values()):
+            if spec["offset"] > cursor:
+                handle.write(b"\0" * (spec["offset"] - cursor))
+                cursor = spec["offset"]
+            handle.write(array.data)
+            cursor += array.nbytes
+        _sync_file(handle)
+    os.replace(tmp, path)
+    _sync_dir(os.path.dirname(path))
+
+
+class Snapshot:
+    """A loaded snapshot: metadata plus zero-copy read-only slab views."""
+
+    def __init__(self, path: str, kind: str, meta: dict, views: dict):
+        self.path = path
+        self.kind = kind
+        self.meta = meta
+        self._views = views
+
+    @property
+    def slab_names(self) -> tuple:
+        return tuple(self._views)
+
+    def slab(self, name: str) -> np.ndarray:
+        """The named payload as a read-only view over the mapped file."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot {self.path!r} has no slab {name!r}",
+                reason="missing-slab",
+            ) from None
+
+
+def load_snapshot(path, *, kind: str | None = None) -> Snapshot:
+    """Map and validate one snapshot file.
+
+    Verifies magic, format version, expected ``kind``, manifest sanity,
+    and every payload's crc32 before returning; any defect raises
+    :class:`~repro.errors.SnapshotError` with a ``reason`` code
+    (``missing`` / ``bad-magic`` / ``bad-header`` / ``version-mismatch``
+    / ``kind-mismatch`` / ``truncated`` / ``checksum-mismatch``).
+    """
+    path = os.fspath(path)
+    try:
+        raw = np.memmap(path, mode="r", dtype=np.uint8)
+    except FileNotFoundError as exc:
+        raise SnapshotError(
+            f"no snapshot at {path!r}", reason="missing"
+        ) from exc
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(
+            f"cannot map snapshot {path!r}: {exc}", reason="unreadable"
+        ) from exc
+    if raw.size < 16 or raw[:8].tobytes() != MAGIC:
+        raise SnapshotError(
+            f"{path!r} is not a snapshot file (bad magic)", reason="bad-magic"
+        )
+    (header_len,) = struct.unpack("<Q", raw[8:16].tobytes())
+    if 16 + header_len > raw.size:
+        raise SnapshotError(
+            f"snapshot {path!r} is truncated inside its header",
+            reason="truncated",
+        )
+    try:
+        header = json.loads(raw[16 : 16 + header_len].tobytes().decode("utf-8"))
+        version = header["format_version"]
+        file_kind = header["kind"]
+        meta = header["meta"]
+        manifest = header["slabs"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SnapshotError(
+            f"snapshot {path!r} has a malformed header: {exc}",
+            reason="bad-header",
+        ) from exc
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} is format version {version!r}, this build "
+            f"reads {FORMAT_VERSION}",
+            reason="version-mismatch",
+        )
+    if kind is not None and file_kind != kind:
+        raise SnapshotError(
+            f"snapshot {path!r} holds a {file_kind!r} snapshot, expected "
+            f"{kind!r}",
+            reason="kind-mismatch",
+        )
+    data_start = _align(16 + int(header_len))
+    views: dict[str, np.ndarray] = {}
+    for spec in manifest:
+        try:
+            name = spec["name"]
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(dim) for dim in spec["shape"])
+            offset = int(spec["offset"])
+            nbytes = int(spec["nbytes"])
+            crc = int(spec["crc32"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot {path!r} has a malformed slab manifest: {exc}",
+                reason="bad-header",
+            ) from exc
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes != expected or offset < 0:
+            raise SnapshotError(
+                f"snapshot {path!r} slab {name!r} manifest is inconsistent "
+                f"({nbytes} bytes for shape {shape} of {dtype.str})",
+                reason="bad-header",
+            )
+        start = data_start + offset
+        if start + nbytes > raw.size:
+            raise SnapshotError(
+                f"snapshot {path!r} is truncated inside slab {name!r}",
+                reason="truncated",
+            )
+        payload = raw[start : start + nbytes]
+        if zlib.crc32(payload) != crc:
+            raise SnapshotError(
+                f"snapshot {path!r} slab {name!r} fails its checksum",
+                reason="checksum-mismatch",
+            )
+        views[name] = payload.view(dtype).reshape(shape)
+    return Snapshot(path, file_kind, meta, views)

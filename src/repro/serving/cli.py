@@ -80,6 +80,22 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the request-at-a-time comparison run",
     )
+    parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="warm-start directory: restore DIR/service.snap at startup "
+        "(cold build if absent/corrupt) and checkpoint there at drain-close "
+        "(implies --no-baseline)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally checkpoint after every N admission windows "
+        "(requires --snapshot-dir)",
+    )
     return parser
 
 
@@ -131,7 +147,9 @@ async def _run(args: argparse.Namespace) -> None:
     )
     reference = np.full(args.n, 1.0 / args.n)
     modes = [("coalesced", args.max_batch, args.linger_us)]
-    if not args.no_baseline:
+    if not args.no_baseline and args.snapshot_dir is None:
+        # A second run against the same snapshot dir would warm-start
+        # off the first run's drain checkpoint and skew the comparison.
         modes.append(("one-at-a-time", 1, 0.0))
     for label, max_batch, linger_us in modes:
         faults = None
@@ -155,10 +173,24 @@ async def _run(args: argparse.Namespace) -> None:
             max_respawns=args.max_respawns,
             faults=faults,
             rng=args.seed,
+            snapshot_dir=args.snapshot_dir,
+            checkpoint_every=args.checkpoint_every,
         )
+        if args.snapshot_dir is not None:
+            if service.warm_started:
+                print(f"warm start: restored {service.snapshot_path}")
+            else:
+                print(f"cold start: {service.restore_error}")
         async with service:
             report = await replay(service, trace, clients=args.clients)
             _report(label, report, service.health())
+        if args.snapshot_dir is not None:
+            stats = service.stats
+            print(
+                f"checkpoints: {stats['checkpoints']} written "
+                f"({stats['checkpoint_failures']} failed) -> "
+                f"{service.snapshot_path}"
+            )
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -42,6 +42,8 @@ from repro.errors import (
     OverloadedError,
     ReproError,
     ServiceClosedError,
+    SlabUnavailableError,
+    SnapshotError,
     UnknownStreamError,
 )
 from repro.histograms.priority import PriorityHistogram
@@ -226,6 +228,8 @@ _TAXONOMY: tuple[tuple[type, str], ...] = (
     (InjectedFaultError, "injected_fault"),
     (InsufficientSamplesError, "insufficient_samples"),
     (InvalidParameterError, "invalid_parameter"),
+    (SlabUnavailableError, "slab_unavailable"),
+    (SnapshotError, "snapshot_error"),
     (ReproError, "internal"),
 )
 

@@ -34,6 +34,7 @@ speedup is real but free of semantics: ``BENCH_serve.json`` tracks it.
 from __future__ import annotations
 
 import asyncio
+import os
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
@@ -48,6 +49,7 @@ from repro.errors import (
     OverloadedError,
     ReproError,
     ServiceClosedError,
+    SnapshotError,
     UnknownStreamError,
 )
 from repro.histograms.intervals import Interval
@@ -140,6 +142,22 @@ class HistogramService:
     reservoir_capacity / refresh_every / params / engine /
     tester_engine / rng:
         Forwarded to the maintainer.
+    snapshot_dir:
+        Directory for warm-start checkpoints (created if missing).  At
+        construction the service tries to restore
+        ``<snapshot_dir>/service.snap``; success warm-starts the whole
+        maintainer tree (:attr:`warm_started` turns true), and *any*
+        restore failure — no file yet, corrupt or truncated file, a
+        configuration mismatch — records its reason
+        (:attr:`restore_error`) and falls back to a cold build, never a
+        crash.  A draining :meth:`close` always writes a final
+        checkpoint; crash-safe atomic writes mean a kill mid-checkpoint
+        leaves the previous generation restorable.
+    checkpoint_every:
+        Additionally checkpoint after every this-many admission windows
+        (between windows, under the collector — checkpoints never
+        interleave with a batch).  ``None`` (default) checkpoints only
+        at drain-close.  Requires ``snapshot_dir``.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`close` explicitly.  All execution happens on the event-loop
@@ -167,6 +185,8 @@ class HistogramService:
         engine: str = "lockstep",
         tester_engine: str = "compiled",
         rng: "int | None | np.random.Generator" = None,
+        snapshot_dir: "str | os.PathLike | None" = None,
+        checkpoint_every: int | None = None,
     ) -> None:
         streams = list(streams)
         if not streams:
@@ -217,7 +237,38 @@ class HistogramService:
             "coalesced": 0,
             "largest_batch": 0,
             "deadline_hits": 0,
+            "checkpoints": 0,
+            "checkpoint_failures": 0,
         }
+        if checkpoint_every is not None:
+            if snapshot_dir is None:
+                raise InvalidParameterError(
+                    "checkpoint_every requires snapshot_dir"
+                )
+            if int(checkpoint_every) != checkpoint_every or checkpoint_every < 1:
+                raise InvalidParameterError(
+                    f"checkpoint_every must be a positive integer, got "
+                    f"{checkpoint_every!r}"
+                )
+            checkpoint_every = int(checkpoint_every)
+        self._snapshot_dir = (
+            os.fspath(snapshot_dir) if snapshot_dir is not None else None
+        )
+        self._checkpoint_every = checkpoint_every
+        self._warm_started = False
+        self._restore_error: str | None = None
+        if self._snapshot_dir is not None:
+            os.makedirs(self._snapshot_dir, exist_ok=True)
+            try:
+                self._restore(self.snapshot_path)
+            except SnapshotError as exc:
+                # Graceful degradation: a missing, corrupt, truncated,
+                # or mismatched snapshot means a cold start, never a
+                # crash.  (A partial maintainer restore cannot leak —
+                # restore raises before touching state at that layer.)
+                self._restore_error = f"{exc.reason}: {exc}"
+            else:
+                self._warm_started = True
 
     # -------------------------------------------------------------- #
     # introspection
@@ -237,6 +288,23 @@ class HistogramService:
     def config(self) -> ServiceConfig:
         """The batching/backpressure knobs."""
         return self._config
+
+    @property
+    def snapshot_path(self) -> str | None:
+        """Where checkpoints live (``None`` without ``snapshot_dir``)."""
+        if self._snapshot_dir is None:
+            return None
+        return os.path.join(self._snapshot_dir, "service.snap")
+
+    @property
+    def warm_started(self) -> bool:
+        """Whether construction restored state from a snapshot."""
+        return self._warm_started
+
+    @property
+    def restore_error(self) -> str | None:
+        """Why the warm-start restore fell back cold (``None`` if it didn't)."""
+        return self._restore_error
 
     @property
     def stats(self) -> dict:
@@ -271,6 +339,7 @@ class HistogramService:
         return {
             "streams": len(self._names),
             "accepting": self._accepting,
+            "warm_started": self._warm_started,
             "stats": self.stats,
             "executor": (
                 self._executor.health() if self._executor is not None else None
@@ -280,6 +349,67 @@ class HistogramService:
     def register_reference(self, name: str, reference: object) -> None:
         """Register a named reference for identity requests."""
         self._references[name] = reference
+
+    # -------------------------------------------------------------- #
+    # persistence
+    # -------------------------------------------------------------- #
+
+    def checkpoint(self) -> str:
+        """Write one crash-safe snapshot of the whole maintainer tree.
+
+        The write is temp-file + fsync + atomic rename, so a crash mid-
+        checkpoint leaves the previous generation intact and restorable.
+        Raises :class:`~repro.errors.InvalidParameterError` without a
+        ``snapshot_dir``; any write failure propagates (the periodic and
+        drain-close call sites swallow it into the
+        ``checkpoint_failures`` counter instead of killing serving).
+        """
+        path = self.snapshot_path
+        if path is None:
+            raise InvalidParameterError(
+                "checkpoint() requires snapshot_dir at construction"
+            )
+        from repro.persist import codec, format as persist_format
+
+        maintainer_meta, slabs = codec.maintainer_state(self._maintainer)
+        persist_format.write_snapshot(
+            path,
+            kind="service",
+            meta={"streams": list(self._names), "maintainer": maintainer_meta},
+            slabs=slabs,
+        )
+        self._stats["checkpoints"] += 1
+        return path
+
+    def _restore(self, path: str) -> None:
+        """Warm-start the maintainer tree from ``path`` (or raise)."""
+        from repro.persist import codec, format as persist_format
+
+        snap = persist_format.load_snapshot(path, kind="service")
+        streams = snap.meta.get("streams")
+        if streams != list(self._names):
+            raise SnapshotError(
+                f"snapshot {path!r} hosts streams {streams!r}, the service "
+                f"hosts {list(self._names)!r}",
+                reason="config-mismatch",
+            )
+        codec.restore_maintainer(self._maintainer, snap.meta["maintainer"], snap.slab)
+
+    def _maybe_checkpoint(self, *, final: bool = False) -> None:
+        """Checkpoint if due (or at drain-close); failures never raise."""
+        if self._snapshot_dir is None:
+            return
+        if not final:
+            if self._checkpoint_every is None:
+                return
+            if self._stats["windows"] % self._checkpoint_every != 0:
+                return
+        try:
+            self.checkpoint()
+        except Exception:
+            # A failed checkpoint must not take serving down — the
+            # previous generation on disk stays valid either way.
+            self._stats["checkpoint_failures"] += 1
 
     # -------------------------------------------------------------- #
     # lifecycle
@@ -312,6 +442,7 @@ class HistogramService:
             if drain:
                 await self._queue.put(_STOP)
                 await self._collector
+                self._maybe_checkpoint(final=True)
             else:
                 self._collector.cancel()
                 try:
@@ -452,6 +583,7 @@ class HistogramService:
                         break
                     window.append(entry)
             self._serve_window(window)
+            self._maybe_checkpoint()
             if stopping:
                 return
 

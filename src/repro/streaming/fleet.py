@@ -185,6 +185,42 @@ class FleetMaintainer:
         return members
 
     # -------------------------------------------------------------- #
+    # persistence
+    # -------------------------------------------------------------- #
+
+    def snapshot(self, path) -> None:
+        """Checkpoint the whole maintainer to one snapshot file.
+
+        Covers every layer a warm restart needs: per-stream reservoirs
+        and intake counters, stored histograms, staleness flags, and the
+        fleet's full warm state (pools, compiled slabs, verdict memos,
+        rng states).  Crash-safe: a kill mid-write leaves the previous
+        snapshot generation untouched.
+        """
+        from repro.persist import codec, format as persist_format
+
+        meta, slabs = codec.maintainer_state(self)
+        persist_format.write_snapshot(
+            path, kind="maintainer", meta=meta, slabs=slabs
+        )
+
+    def restore(self, path) -> None:
+        """Warm-start a freshly constructed maintainer from a snapshot.
+
+        The maintainer must be configured exactly as the snapshotted one
+        (``fleet_size``, ``n``, ``k``, ``epsilon``, reservoir capacity,
+        refresh cadence, learner budget); a restored maintainer then
+        answers byte-identical responses to the live instance the
+        snapshot was taken from.  Any mismatch or file defect raises
+        :class:`~repro.errors.SnapshotError`; the instance remains
+        usable cold.
+        """
+        from repro.persist import codec, format as persist_format
+
+        snap = persist_format.load_snapshot(path, kind="maintainer")
+        codec.restore_maintainer(self, snap.meta, snap.slab)
+
+    # -------------------------------------------------------------- #
     # stream intake
     # -------------------------------------------------------------- #
 

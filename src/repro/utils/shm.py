@@ -17,6 +17,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.errors import SlabUnavailableError
+
 # Worker-side attachment cache: one buffer per segment name, kept alive
 # across tasks so repeated work over one slab attaches once.  (The
 # parent rarely uses this path — it keeps the arrays it allocated; see
@@ -49,18 +51,28 @@ def unregister_parent_segment(name: str) -> None:
 
 
 def _evict_attachments() -> None:
-    """Unmap least-recently-used segments beyond the cache bound."""
+    """Unmap least-recently-used segments beyond the cache bound.
+
+    Pinned entries — mappings a live ndarray still exports (a task in
+    flight) — cannot be unmapped yet, but they must keep their place in
+    the recency order: re-ranking a pinned segment as most-recently-used
+    would push genuinely fresh segments out on the same pass.  We skip
+    pinned entries where they stand and keep walking toward the LRU end
+    until enough *unpinned* mappings have been released.
+    """
+    excess = len(_ATTACHED) - _ATTACH_CACHE_LIMIT
+    if excess <= 0:
+        return
     for name in list(_ATTACHED.keys()):
-        if len(_ATTACHED) <= _ATTACH_CACHE_LIMIT:
+        if excess <= 0:
             break
-        segment = _ATTACHED.pop(name)
+        segment = _ATTACHED[name]
         try:
             segment.close()
         except BufferError:
-            # A live ndarray still exports the buffer (a task in
-            # flight); keep the mapping, marked recently used, and let
-            # a later attach retry.
-            _ATTACHED[name] = segment
+            continue
+        del _ATTACHED[name]
+        excess -= 1
 
 
 @dataclass(frozen=True)
@@ -78,15 +90,43 @@ class SharedSlab:
         :func:`register_parent_segment`) this returns a view over the
         original mapping — no reopen, and valid even after the name was
         unlinked.
+
+        The worker-side cache is keyed by segment *name*, and names get
+        recycled: the parent unlinks a slab, the OS hands the same name
+        to a later (possibly smaller) segment.  A cached mapping is
+        therefore revalidated against this slab's ``shape * itemsize``
+        on every attach and dropped + reopened when it is too small to
+        back the view.  A segment that is gone — or was recycled at a
+        size that cannot hold the slab — raises
+        :class:`~repro.errors.SlabUnavailableError` naming the slab.
         """
+        dtype = np.dtype(self.dtype)
+        needed = int(np.prod(self.shape, dtype=np.int64)) * dtype.itemsize
         parent = _PARENT_SEGMENTS.get(self.name)
         if parent is not None:
-            return np.ndarray(
-                self.shape, dtype=np.dtype(self.dtype), buffer=parent.buf
-            )
+            return np.ndarray(self.shape, dtype=dtype, buffer=parent.buf)
         segment = _ATTACHED.get(self.name)
+        if segment is not None and _segment_size(segment) < needed:
+            # Stale mapping from a recycled name: the segment this
+            # mapping belongs to was unlinked and the name reused for a
+            # larger one.  (A *larger* cached mapping is fine — scratch
+            # slabs legitimately hand out views over a prefix.)
+            del _ATTACHED[self.name]
+            try:
+                segment.close()
+            except BufferError:
+                pass  # a live view pins the old mapping; the GC unmaps it
+            segment = None
         if segment is None:
-            segment = _open_segment(self.name)
+            segment = _attach_segment(self.name)
+            held = _segment_size(segment)
+            if held < needed:
+                segment.close()
+                raise SlabUnavailableError(
+                    f"slab {self.name!r} ({self.shape}, {dtype.str}) needs "
+                    f"{needed} bytes but the segment holds {held} — the "
+                    f"original segment is gone and its name was recycled"
+                )
             _ATTACHED[self.name] = segment
             _evict_attachments()
         else:
@@ -95,7 +135,25 @@ class SharedSlab:
             buffer = segment.buf  # pragma: no cover - non-POSIX fallback
         else:
             buffer = segment
-        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=buffer)
+        return np.ndarray(self.shape, dtype=dtype, buffer=buffer)
+
+
+def _segment_size(segment) -> int:
+    """Byte size of a cached mapping (mmap or ``SharedMemory``)."""
+    if isinstance(segment, shared_memory.SharedMemory):
+        return segment.size  # pragma: no cover - non-POSIX fallback
+    return len(segment)
+
+
+def _attach_segment(name: str):
+    """:func:`_open_segment` with gone-name failures made structured."""
+    try:
+        return _open_segment(name)
+    except FileNotFoundError as exc:
+        raise SlabUnavailableError(
+            f"slab {name!r} has no backing segment — the owning executor "
+            f"closed or the handle outlived the parent that registered it"
+        ) from exc
 
 
 def _open_segment(name: str):

@@ -326,3 +326,69 @@ def test_counting_sources_observe_identical_draws():
     )
     fleet.test_l2(3, 0.3)
     assert all(source.samples_drawn == TEST_PARAMS.total_samples for source in sources)
+
+
+# ------------------------------------------------------------------ #
+# snapshot axis: restore is byte-identical to staying alive
+# ------------------------------------------------------------------ #
+
+
+@pytest.mark.shm_guard
+@pytest.mark.parametrize("workers,shards", [(0, 0), (4, 2)], ids=["serial", "sharded"])
+def test_snapshot_cell_matches_live_fleet(tmp_path, workers, shards):
+    """A fleet restored mid-workload finishes it byte-identically.
+
+    Phase A (learn + one tester call) runs on a live fleet, which is
+    then snapshotted.  Phase B — the rest of the pinned workload, plus a
+    *larger*-budget tester call that forces the restored read-only pools
+    to grow and spends restored rng draws — runs on both the live fleet
+    and a freshly built fleet restored from the file.  Outcomes and
+    per-member memo accounting must match exactly, on the serial and the
+    sharded/parallel executor alike.
+    """
+    seeds = [SEEDS[0] + f for f in range(FLEET_SIZE)]
+    grown = TesterParams(num_sets=5, set_size=2_500)
+
+    def build(executor):
+        return HistogramFleet(
+            _make_sources("array"),
+            N,
+            rngs=list(seeds),
+            engine="lockstep",
+            tester_engine="compiled",
+            learn_budget=LEARN_PARAMS,
+            test_budget=TEST_PARAMS,
+            executor=executor,
+        )
+
+    def phase_b(fleet):
+        outcome = (
+            tuple(_freeze_learn(result) for result in fleet.learn(3, 0.3)),
+            tuple(tuple(member) for member in fleet.test_many(TEST_GRID, norm="l2")),
+            tuple(fleet.test_l1(3, 0.3)),
+            tuple(fleet.min_k(0.3, max_k=6, norm="l2")),
+            tuple(fleet.test_l2(2, 0.3, params=grown)),
+        )
+        return outcome, _freeze_memo(fleet._sessions)
+
+    executor = None
+    if workers:
+        executor = ParallelExecutor(
+            workers,
+            plan=ShardPlan(shards),
+            resolve_min_batch=1,
+            learn_fan_min_candidates=1,
+        )
+    try:
+        live = build(executor)
+        live.learn(3, 0.3)
+        live.test_l2(2, 0.3)
+        path = tmp_path / "fleet.snap"
+        live.snapshot(path)
+
+        restored = build(executor)
+        restored.restore(path)
+        assert phase_b(live) == phase_b(restored)
+    finally:
+        if executor is not None:
+            executor.close()

@@ -777,6 +777,25 @@ class TestCli:
         assert "[coalesced+chaos]" in out
         assert "executor:" in out and "respawns" in out
 
+    def test_repro_serve_snapshot_dir_warm_starts_second_run(
+        self, capsys, tmp_path
+    ):
+        from repro.serving.cli import main
+
+        args = [
+            "--streams", "2", "--requests", "8", "--n", "128",
+            "--k", "4", "--clients", "4",
+            "--snapshot-dir", str(tmp_path), "--checkpoint-every", "1",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cold start:" in out
+        assert "checkpoints:" in out
+        assert "[one-at-a-time]" not in out  # snapshot dir implies no baseline
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "warm start: restored" in out
+
     def test_repro_serve_deadline_flag(self, capsys):
         from repro.serving.cli import main
 

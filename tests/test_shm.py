@@ -1,0 +1,183 @@
+"""Lifecycle tests for the shared-memory slab plumbing.
+
+Three regressions, each an observed failure mode of the worker-side
+attachment cache in :mod:`repro.utils.shm`:
+
+* a cached mapping keyed by *name only* going stale when the OS recycles
+  the name for a smaller segment (the view would read past the mapping);
+* a gone segment surfacing as a raw ``FileNotFoundError`` instead of the
+  structured :class:`~repro.errors.SlabUnavailableError` the serving
+  taxonomy classifies;
+* LRU eviction re-ranking pinned (``BufferError``) entries as
+  most-recently-used, pushing genuinely fresh segments out instead.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.errors import SlabUnavailableError
+from repro.serving.requests import error_code
+from repro.utils import shm
+from repro.utils.shm import SharedSlab
+
+
+def _forget(name: str) -> None:
+    """Drop + close any cached attachment so unlink can reap the name."""
+    segment = shm._ATTACHED.pop(name, None)
+    if segment is not None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - diagnostic path
+            pass
+
+
+class TestAttachmentRevalidation:
+    def test_recycled_name_reattaches_at_new_size(self):
+        """A cached short mapping must not back a longer slab's view."""
+        name = f"repro_shm_reuse_{os.getpid()}"
+        first = shared_memory.SharedMemory(create=True, size=4 * 8, name=name)
+        try:
+            np.ndarray((4,), dtype=np.int64, buffer=first.buf)[:] = np.arange(4)
+            view = SharedSlab(name, (4,), "<i8").attach()
+            assert list(view) == [0, 1, 2, 3]
+            del view
+        finally:
+            first.close()
+            first.unlink()
+        # The OS hands the *same name* to a larger segment; the stale
+        # 32-byte mapping is still cached under it.
+        second = shared_memory.SharedMemory(create=True, size=16 * 8, name=name)
+        try:
+            np.ndarray((16,), dtype=np.int64, buffer=second.buf)[:] = np.arange(16)
+            view = SharedSlab(name, (16,), "<i8").attach()
+            assert list(view) == list(range(16))
+            del view
+        finally:
+            _forget(name)
+            second.close()
+            second.unlink()
+
+    def test_larger_cached_mapping_is_reused(self):
+        """A prefix view over a bigger cached mapping stays valid."""
+        name = f"repro_shm_prefix_{os.getpid()}"
+        segment = shared_memory.SharedMemory(create=True, size=16 * 8, name=name)
+        try:
+            np.ndarray((16,), dtype=np.int64, buffer=segment.buf)[:] = np.arange(16)
+            big = SharedSlab(name, (16,), "<i8").attach()
+            cached = shm._ATTACHED[name]
+            small = SharedSlab(name, (4,), "<i8").attach()
+            assert shm._ATTACHED[name] is cached  # no reopen
+            assert list(small) == [0, 1, 2, 3]
+            del big, small
+        finally:
+            _forget(name)
+            segment.close()
+            segment.unlink()
+
+
+class TestGoneSegments:
+    def test_missing_segment_raises_structured_error(self):
+        slab = SharedSlab(f"repro_shm_gone_{os.getpid()}", (4,), "<i8")
+        with pytest.raises(SlabUnavailableError) as excinfo:
+            slab.attach()
+        assert slab.name in str(excinfo.value)
+        assert error_code(excinfo.value) == "slab_unavailable"
+
+    def test_recycled_smaller_segment_raises_structured_error(self):
+        """A fresh-but-too-small segment means the original is gone."""
+        name = f"repro_shm_small_{os.getpid()}"
+        segment = shared_memory.SharedMemory(create=True, size=4 * 8, name=name)
+        try:
+            slab = SharedSlab(name, (64,), "<i8")
+            with pytest.raises(SlabUnavailableError) as excinfo:
+                slab.attach()
+            assert name in str(excinfo.value)
+            assert name not in shm._ATTACHED  # nothing cached on failure
+        finally:
+            _forget(name)
+            segment.close()
+            segment.unlink()
+
+
+class _StubSegment:
+    """A fake mapping whose close() raises while ``pinned``."""
+
+    def __init__(self, size: int = 8) -> None:
+        self.size = size
+        self.pinned = False
+        self.closed = False
+
+    def close(self) -> None:
+        if self.pinned:
+            raise BufferError("a live ndarray still exports this buffer")
+        self.closed = True
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class TestPinnedStaleMapping:
+    def test_pinned_stale_mapping_is_dropped_without_unmap(self):
+        """A stale-but-pinned cached mapping falls out of the cache; the
+        live view keeps the old pages alive until its GC unmaps them."""
+        name = f"repro_shm_pinned_{os.getpid()}"
+        stale = _StubSegment(size=8)
+        stale.pinned = True
+        shm._ATTACHED[name] = stale
+        segment = shared_memory.SharedMemory(create=True, size=16 * 8, name=name)
+        try:
+            np.ndarray((16,), dtype=np.int64, buffer=segment.buf)[:] = np.arange(16)
+            view = SharedSlab(name, (16,), "<i8").attach()
+            assert list(view) == list(range(16))
+            assert not stale.closed  # close() raised; the pin held
+            assert shm._ATTACHED[name] is not stale
+            del view
+        finally:
+            _forget(name)
+            shm._ATTACHED.pop(name, None)
+            segment.close()
+            segment.unlink()
+
+
+class TestEvictionOrder:
+    @pytest.fixture
+    def cache(self, monkeypatch):
+        fresh: "OrderedDict[str, _StubSegment]" = OrderedDict()
+        monkeypatch.setattr(shm, "_ATTACHED", fresh)
+        monkeypatch.setattr(shm, "_ATTACH_CACHE_LIMIT", 3)
+        return fresh
+
+    def test_pinned_entries_keep_their_lru_rank(self, cache):
+        segments = {name: _StubSegment() for name in "abcd"}
+        segments["a"].pinned = True
+        cache.update(segments)
+
+        shm._evict_attachments()
+
+        # "a" is pinned: skipped in place, NOT re-ranked MRU.  The next
+        # unpinned LRU entry ("b") went instead.
+        assert list(cache) == ["a", "c", "d"]
+        assert segments["b"].closed
+        assert not segments["a"].closed
+
+        # Once unpinned, "a" is still the LRU and goes on the next pass.
+        segments["a"].pinned = False
+        cache["e"] = _StubSegment()
+        shm._evict_attachments()
+        assert list(cache) == ["c", "d", "e"]
+        assert segments["a"].closed
+
+    def test_all_pinned_backs_off(self, cache):
+        segments = {name: _StubSegment() for name in "abcd"}
+        for segment in segments.values():
+            segment.pinned = True
+        cache.update(segments)
+        shm._evict_attachments()  # must not raise or spin
+        assert list(cache) == ["a", "b", "c", "d"]
+        assert not any(segment.closed for segment in segments.values())
