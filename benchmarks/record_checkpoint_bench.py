@@ -1,0 +1,129 @@
+"""Summarise checkpoint benchmark runs into ``BENCH_checkpoint.json``.
+
+``bench_t15_checkpoint.py`` benchmarks the steady-state checkpoint
+twice in one run — ``<kernel>`` writing a differential checkpoint
+against its parent and ``<kernel>_full`` re-writing every slab — with
+each kernel's bytes written riding along as ``extra_info``.  The
+headline ``speedup`` of a pair is the **bytes ratio** (full bytes /
+delta bytes): it is what the differential format exists to shrink, it
+is deterministic given the fleet shape (so the CI floor cannot flake
+on a noisy runner), and the acceptance bar — delta <= 25% of full at
+<= 10% churn — is exactly ``speedup >= 4``.  Wall times ride along as
+``delta_s`` / ``full_s`` with a ``time_speedup``.  Two modes:
+
+* seed / refresh the checked-in record::
+
+      python benchmarks/record_checkpoint_bench.py \
+          --run run.json --out BENCH_checkpoint.json
+
+* diff a fresh CI run against the checked-in record::
+
+      python benchmarks/record_checkpoint_bench.py \
+          --run run.json --baseline BENCH_checkpoint.json \
+          --out BENCH_checkpoint.ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+from _recorder import write_summary
+
+SUITE = (
+    "bench_t15_checkpoint kernel pairs (each steady-state churn window "
+    "checkpoints through the delta write path and the full re-write in "
+    "the same run; speedup = full checkpoint_bytes / delta "
+    "checkpoint_bytes — the deterministic bytes ratio the differential "
+    "format exists to shrink — with wall times recorded as delta_s / "
+    "full_s and their ratio as time_speedup)"
+)
+
+PAIR_SUFFIX = "_full"
+
+
+def load_kernels(pytest_benchmark_json: str) -> dict[str, dict]:
+    """Per-kernel stats + extra_info of one benchmark run."""
+    with open(pytest_benchmark_json) as handle:
+        data = json.load(handle)
+    return {
+        bench["name"]: {
+            "mean_s": bench["stats"]["mean"],
+            "min_s": bench["stats"]["min"],
+            "extra": bench.get("extra_info", {}),
+        }
+        for bench in data["benchmarks"]
+    }
+
+
+def summarise(
+    kernels: dict[str, dict], baseline: dict[str, dict] | None = None
+) -> dict:
+    """Reduce kernel pairs to the ``BENCH_checkpoint.json`` layout."""
+    benchmarks = {}
+    for name, primary in kernels.items():
+        if name.endswith(PAIR_SUFFIX) or not name.startswith("test_checkpoint"):
+            continue
+        entry = {
+            "delta_s": round(primary["min_s"], 5),
+            "delta_mean_s": round(primary["mean_s"], 5),
+        }
+        for key in sorted(primary["extra"]):
+            entry[f"delta_{key}"] = primary["extra"][key]
+        pair = kernels.get(name + PAIR_SUFFIX)
+        if pair is not None:
+            entry["full_s"] = round(pair["min_s"], 5)
+            entry["full_mean_s"] = round(pair["mean_s"], 5)
+            for key in sorted(pair["extra"]):
+                entry[f"full_{key}"] = pair["extra"][key]
+            delta_bytes = primary["extra"].get("checkpoint_bytes")
+            full_bytes = pair["extra"].get("checkpoint_bytes")
+            if delta_bytes and full_bytes:
+                entry["speedup"] = round(full_bytes / delta_bytes, 2)
+            if primary["min_s"] > 0:
+                entry["time_speedup"] = round(
+                    pair["min_s"] / primary["min_s"], 2
+                )
+        if baseline is not None and name in baseline:
+            recorded = baseline[name].get("speedup")
+            if recorded and entry.get("speedup"):
+                entry["baseline_speedup"] = recorded
+        benchmarks[name] = entry
+    return {
+        "suite": SUITE,
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--run", required=True, help="pytest-benchmark json of a run"
+    )
+    parser.add_argument(
+        "--baseline", help="checked-in BENCH_checkpoint.json to diff against"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_checkpoint.json", help="output path"
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)["benchmarks"]
+    summary = summarise(load_kernels(args.run), baseline)
+    write_summary(summary, args.out)
+    for name, entry in sorted(summary["benchmarks"].items()):
+        ratio = (
+            f' ({entry["speedup"]}x fewer bytes)' if "speedup" in entry else ""
+        )
+        print(f'{name}: {entry["delta_s"]}s{ratio}')
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,6 +180,16 @@ class HistogramFleet:
         """Per-member pool-filling draw events (diagnostics)."""
         return [session.draw_events for session in self._sessions]
 
+    def generation(self, member: int) -> int:
+        """Member ``member``'s mutation epoch (see
+        :attr:`HistogramSession.generation`)."""
+        return self._sessions[member].generation
+
+    @property
+    def generations(self) -> list[int]:
+        """Per-member mutation epochs."""
+        return [session.generation for session in self._sessions]
+
     def invalidate(self, member: int | None = None) -> None:
         """Forget drawn samples and sketches, fleet-wide or per member.
 

@@ -163,6 +163,16 @@ class HistogramSession:
         """Pool-filling draw events per sketch family (diagnostics)."""
         return dict(self._bundle.draw_events)
 
+    @property
+    def generation(self) -> int:
+        """Mutation epoch of the underlying bundle.
+
+        Monotonically increasing; two reads of the same value bracket a
+        span in which no retained sketch state changed, so any derived
+        answer computed in between is still valid.
+        """
+        return self._bundle.generation
+
     def invalidate(self) -> None:
         """Forget all drawn samples and sketches.
 

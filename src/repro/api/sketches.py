@@ -141,6 +141,12 @@ class SketchBundle:
         ] = {}
         self.draw_events = {_LEARN: 0, _TEST: 0}
         self.samples_drawn = 0
+        #: Mutation epoch: bumped whenever retained state changes — pool
+        #: growth, a compiled-cache insert or plant, invalidation, or a
+        #: restore (which invalidates first).  Consumers key caches and
+        #: differential checkpoints on it; equality of generations means
+        #: the bundle's retained state is byte-identical.
+        self.generation = 0
 
     @property
     def n(self) -> int:
@@ -155,6 +161,7 @@ class SketchBundle:
         self._multi_cache = {}
         self._compiled_cache = {}
         self._tester_compiled_cache = {}
+        self.generation += 1
 
     # -------------------------------------------------------------- #
     # pool growth
@@ -177,6 +184,7 @@ class SketchBundle:
         if not grew:
             return
         self.draw_events[_LEARN] += 1
+        self.generation += 1
         self._weight_pool.fill_to(params.weight_sample_size, self._draw)
         # Only the sets this call will slice are extended; any further
         # pooled sets keep their size until a request actually needs them.
@@ -196,6 +204,7 @@ class SketchBundle:
         if not grew:
             return
         self.draw_events[_TEST] += 1
+        self.generation += 1
         for pool in self._tester_pool[: params.num_sets]:
             pool.fill_to(params.set_size, self._draw)
         while len(self._tester_pool) < params.num_sets:
@@ -253,6 +262,7 @@ class SketchBundle:
                 executor=self._executor,
             )
             self._compiled_cache[key] = compiled
+            self.generation += 1
         return samples, compiled
 
     def tester_sets(self, params: TesterParams) -> "list[np.ndarray]":
@@ -317,6 +327,7 @@ class SketchBundle:
             multi = self.multi_sketch(params)
             compiled = compile_tester_sketches(multi)
         self._tester_compiled_cache[key] = compiled
+        self.generation += 1
         return multi, compiled
 
     # -------------------------------------------------------------- #
@@ -382,6 +393,7 @@ class SketchBundle:
                 "or the params' (num_sets, set_size)"
             )
         self._tester_compiled_cache[(params.num_sets, params.set_size)] = compiled
+        self.generation += 1
 
     def adopt_compiled_sketches(
         self,
@@ -407,3 +419,4 @@ class SketchBundle:
             params.collision_set_size,
         )
         self._compiled_cache[key] = compiled
+        self.generation += 1

@@ -309,6 +309,23 @@ def restore_fleet(fleet, meta: dict, slab) -> None:
 # ------------------------------------------------------------------ #
 
 
+def slab_member(name: str) -> int | None:
+    """Which fleet member owns one maintainer-level slab (or ``None``).
+
+    The maintainer's slab namespace is member-partitioned —
+    ``fleet/member/{f}/...`` (the bundle tree), ``hist/{f}/...`` (the
+    stored histogram), ``reservoir/{f}`` — which is what lets a
+    differential checkpoint re-write only the slabs of members whose
+    generation moved.  Names outside those prefixes (there are none
+    today, but the seam is honest) report ``None`` and are always
+    re-written.
+    """
+    for prefix in ("fleet/member/", "hist/", "reservoir/"):
+        if name.startswith(prefix):
+            return int(name[len(prefix) :].split("/", 1)[0])
+    return None
+
+
 def maintainer_state(maintainer) -> tuple[dict, dict]:
     """Reservoirs, rebuild counters, stored histograms, and the fleet."""
     fleet_meta, fleet_slabs = fleet_state(maintainer._fleet)

@@ -5,24 +5,38 @@ One snapshot file carries everything a restore needs::
     offset 0     MAGIC (8 bytes, b"REPROSNP")
     offset 8     header length (uint64, little-endian)
     offset 16    header: UTF-8 JSON
-                   {format_version, kind, meta, slabs: [manifest...]}
+                   {format_version, kind, meta, slabs: [manifest...],
+                    parent?, depth?}
     ...          zero padding to the next 4096-byte boundary
     data start   slab payloads, each page-aligned, in manifest order
 
-Each manifest entry records ``{name, dtype, shape, offset, nbytes,
-crc32}`` with ``offset`` relative to the page-aligned data start, so the
-header can be sized *after* the payload layout is fixed without a
-circular dependency.  ``meta`` is the caller's JSON document — compile
-parameters, rng state fingerprints, memo tables — and ``kind`` names the
-producing layer (``bundle`` / ``fleet`` / ``maintainer`` / ``service``)
-so a restore seam never maps a snapshot from the wrong layer.
+Each *physical* manifest entry records ``{name, dtype, shape, offset,
+nbytes, crc32}`` with ``offset`` relative to the page-aligned data
+start, so the header can be sized *after* the payload layout is fixed
+without a circular dependency.  ``meta`` is the caller's JSON document —
+compile parameters, rng state fingerprints, memo tables — and ``kind``
+names the producing layer (``bundle`` / ``fleet`` / ``maintainer`` /
+``service``) so a restore seam never maps a snapshot from the wrong
+layer.
+
+Format version 2 adds **differential snapshots**: a file written with
+``parent=`` may carry *reference* entries ``{name, dtype, shape, nbytes,
+crc32, ref: [file, offset]}`` whose payload lives at an absolute offset
+in another snapshot file in the same directory.  References are
+flattened at write time — a delta whose parent entry is itself a
+reference copies that reference verbatim — so resolving any entry opens
+at most one other file, and the ``depth`` header field (link count back
+to the full base snapshot) is bounded by :data:`MAX_CHAIN`.  Version-1
+files read exactly as before.
 
 :func:`load_snapshot` maps the file once with :func:`numpy.memmap` and
 hands out zero-copy *read-only* views; payload checksums are verified up
-front, and every malformed condition — missing file, bad magic,
-truncation, version or kind mismatch, checksum failure — surfaces as a
-structured :class:`~repro.errors.SnapshotError` whose ``reason`` names
-the condition, so restore seams degrade to a cold rebuild instead of
+front — for referenced payloads against the *referring* file's recorded
+crc, per link — and every malformed condition — missing file, bad
+magic, truncation, version or kind mismatch, checksum failure, a chain
+deeper than :data:`MAX_CHAIN` — surfaces as a structured
+:class:`~repro.errors.SnapshotError` whose ``reason`` names the
+condition, so restore seams degrade to a cold rebuild instead of
 crashing.
 
 :func:`write_snapshot` is crash-safe: the bytes land in a temp file in
@@ -45,7 +59,14 @@ import numpy as np
 from repro.errors import SnapshotError
 
 MAGIC = b"REPROSNP"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Format versions this build can read (v1 predates differential
+#: snapshots; its files carry no parent/ref entries).
+SUPPORTED_VERSIONS = (1, 2)
+#: Hard bound on the parent-chain depth a snapshot may declare.  Writers
+#: compact long before this (the serving layer every 8 links); the bound
+#: is the loader's defence against a corrupted or adversarial header.
+MAX_CHAIN = 16
 _PAGE = 4096
 
 
@@ -68,13 +89,86 @@ def _sync_dir(path: str) -> None:
         os.close(fd)
 
 
-def write_snapshot(path, *, kind: str, meta: dict, slabs: dict) -> None:
+def _check_link_name(owner: str, name: object) -> str:
+    """Validate a sibling-file reference (basename only, no traversal)."""
+    if (
+        not isinstance(name, str)
+        or not name
+        or name != os.path.basename(name)
+        or name in (".", "..")
+    ):
+        raise SnapshotError(
+            f"snapshot {owner!r} references an illegal sibling file "
+            f"{name!r} (must be a plain basename)",
+            reason="bad-header",
+        )
+    return name
+
+
+def _read_header(path: str) -> tuple[dict, int]:
+    """Parse one snapshot's JSON header without mapping its payloads.
+
+    Returns ``(header, data_start)``.  Raises the same structured
+    :class:`~repro.errors.SnapshotError` reasons as :func:`load_snapshot`
+    for defects visible at the header level.
+    """
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(16)
+            if len(prefix) < 16 or prefix[:8] != MAGIC:
+                raise SnapshotError(
+                    f"{path!r} is not a snapshot file (bad magic)",
+                    reason="bad-magic",
+                )
+            (header_len,) = struct.unpack("<Q", prefix[8:16])
+            blob = handle.read(header_len)
+    except FileNotFoundError as exc:
+        raise SnapshotError(f"no snapshot at {path!r}", reason="missing") from exc
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read snapshot {path!r}: {exc}", reason="unreadable"
+        ) from exc
+    if len(blob) < header_len:
+        raise SnapshotError(
+            f"snapshot {path!r} is truncated inside its header",
+            reason="truncated",
+        )
+    try:
+        header = json.loads(blob.decode("utf-8"))
+        header["format_version"], header["kind"], header["meta"], header["slabs"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SnapshotError(
+            f"snapshot {path!r} has a malformed header: {exc}",
+            reason="bad-header",
+        ) from exc
+    return header, _align(16 + int(header_len))
+
+
+def write_snapshot(
+    path,
+    *,
+    kind: str,
+    meta: dict,
+    slabs: dict,
+    parent: "str | os.PathLike | None" = None,
+    unchanged=(),
+) -> None:
     """Atomically write one snapshot file.
 
     ``slabs`` maps slab names to arrays (any dtype/shape; non-contiguous
     inputs are compacted).  ``meta`` must be JSON-serializable.  The
     write is all-or-nothing: on any failure the destination still holds
     whatever it held before.
+
+    Differential writes pass ``parent=`` (a sibling snapshot file) plus
+    ``unchanged=``: slab names whose payloads are carried as references
+    into the parent instead of being re-written.  Each referenced name
+    must exist in the parent's manifest (else
+    :class:`~repro.errors.SnapshotError` with reason ``missing-slab`` —
+    callers fall back to a full write); references to references are
+    flattened, so any chain resolves in one hop.  The caller vouches
+    that a referenced payload is byte-identical to the parent's — the
+    generation tracking upstream is what establishes that.
     """
     path = os.fspath(path)
     arrays = {name: np.ascontiguousarray(array) for name, array in slabs.items()}
@@ -93,15 +187,55 @@ def write_snapshot(path, *, kind: str, meta: dict, slabs: dict) -> None:
             }
         )
         offset += array.nbytes
-    header = json.dumps(
-        {
-            "format_version": FORMAT_VERSION,
-            "kind": str(kind),
-            "meta": meta,
-            "slabs": manifest,
-        },
-        sort_keys=True,
-    ).encode("utf-8")
+    header_doc = {
+        "format_version": FORMAT_VERSION,
+        "kind": str(kind),
+        "meta": meta,
+        "slabs": manifest,
+    }
+    if parent is not None:
+        parent = os.fspath(parent)
+        parent_header, parent_data_start = _read_header(parent)
+        depth = int(parent_header.get("depth", 0)) + 1
+        if depth > MAX_CHAIN:
+            raise SnapshotError(
+                f"writing {path!r} would chain {depth} snapshots deep "
+                f"(bound {MAX_CHAIN}); compact to a full snapshot instead",
+                reason="chain-too-deep",
+            )
+        parent_base = os.path.basename(parent)
+        by_name = {spec.get("name"): spec for spec in parent_header["slabs"]}
+        for name in unchanged:
+            spec = by_name.get(name)
+            if spec is None:
+                raise SnapshotError(
+                    f"parent snapshot {parent!r} holds no slab {name!r} to "
+                    "reference",
+                    reason="missing-slab",
+                )
+            if "ref" in spec:
+                # Flatten: point straight at the file that physically
+                # holds the payload, never at an intermediate delta.
+                ref = list(spec["ref"])
+            else:
+                ref = [parent_base, parent_data_start + int(spec["offset"])]
+            manifest.append(
+                {
+                    "name": str(name),
+                    "dtype": spec["dtype"],
+                    "shape": list(spec["shape"]),
+                    "nbytes": int(spec["nbytes"]),
+                    "crc32": int(spec["crc32"]),
+                    "ref": ref,
+                }
+            )
+        header_doc["parent"] = parent_base
+        header_doc["depth"] = depth
+    elif unchanged:
+        raise SnapshotError(
+            "unchanged= slab references require parent=", reason="missing-slab"
+        )
+    header = json.dumps(header_doc, sort_keys=True).encode("utf-8")
     data_start = _align(16 + len(header))
     tmp = path + ".tmp"
     with open(tmp, "wb") as handle:
@@ -122,12 +256,27 @@ def write_snapshot(path, *, kind: str, meta: dict, slabs: dict) -> None:
 
 
 class Snapshot:
-    """A loaded snapshot: metadata plus zero-copy read-only slab views."""
+    """A loaded snapshot: metadata plus zero-copy read-only slab views.
 
-    def __init__(self, path: str, kind: str, meta: dict, views: dict):
+    ``parent`` is the basename of the parent snapshot for a
+    differential file (``None`` for a full one) and ``depth`` its
+    declared chain depth (0 for a full snapshot).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        kind: str,
+        meta: dict,
+        views: dict,
+        parent: str | None = None,
+        depth: int = 0,
+    ):
         self.path = path
         self.kind = kind
         self.meta = meta
+        self.parent = parent
+        self.depth = depth
         self._views = views
 
     @property
@@ -145,26 +294,82 @@ class Snapshot:
             ) from None
 
 
-def load_snapshot(path, *, kind: str | None = None) -> Snapshot:
-    """Map and validate one snapshot file.
-
-    Verifies magic, format version, expected ``kind``, manifest sanity,
-    and every payload's crc32 before returning; any defect raises
-    :class:`~repro.errors.SnapshotError` with a ``reason`` code
-    (``missing`` / ``bad-magic`` / ``bad-header`` / ``version-mismatch``
-    / ``kind-mismatch`` / ``truncated`` / ``checksum-mismatch``).
-    """
-    path = os.fspath(path)
+def _map_raw(path: str) -> np.memmap:
+    """Map one snapshot file read-only (shared missing/unreadable seam)."""
     try:
-        raw = np.memmap(path, mode="r", dtype=np.uint8)
+        return np.memmap(path, mode="r", dtype=np.uint8)
     except FileNotFoundError as exc:
-        raise SnapshotError(
-            f"no snapshot at {path!r}", reason="missing"
-        ) from exc
+        raise SnapshotError(f"no snapshot at {path!r}", reason="missing") from exc
     except (OSError, ValueError) as exc:
         raise SnapshotError(
             f"cannot map snapshot {path!r}: {exc}", reason="unreadable"
         ) from exc
+
+
+def _open_link(directory: str, basename: str, kind: str, cache: dict) -> np.memmap:
+    """Map and validate one referenced sibling snapshot file.
+
+    Every corruption reason fires *per link*: a referenced file that is
+    missing, unmappable, not a snapshot, truncated in its header, of an
+    unreadable version, or of a different kind raises the same
+    structured :class:`~repro.errors.SnapshotError` it would as a
+    top-level load.
+    """
+    if basename in cache:
+        return cache[basename]
+    link_path = os.path.join(directory, basename)
+    raw = _map_raw(link_path)
+    if raw.size < 16 or raw[:8].tobytes() != MAGIC:
+        raise SnapshotError(
+            f"{link_path!r} is not a snapshot file (bad magic)",
+            reason="bad-magic",
+        )
+    (header_len,) = struct.unpack("<Q", raw[8:16].tobytes())
+    if 16 + header_len > raw.size:
+        raise SnapshotError(
+            f"snapshot {link_path!r} is truncated inside its header",
+            reason="truncated",
+        )
+    try:
+        header = json.loads(raw[16 : 16 + header_len].tobytes().decode("utf-8"))
+        version = header["format_version"]
+        link_kind = header["kind"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SnapshotError(
+            f"snapshot {link_path!r} has a malformed header: {exc}",
+            reason="bad-header",
+        ) from exc
+    if version not in SUPPORTED_VERSIONS:
+        raise SnapshotError(
+            f"snapshot {link_path!r} is format version {version!r}, this "
+            f"build reads {SUPPORTED_VERSIONS}",
+            reason="version-mismatch",
+        )
+    if link_kind != kind:
+        raise SnapshotError(
+            f"snapshot {link_path!r} holds a {link_kind!r} snapshot, its "
+            f"referring delta holds {kind!r}",
+            reason="kind-mismatch",
+        )
+    cache[basename] = raw
+    return raw
+
+
+def load_snapshot(path, *, kind: str | None = None) -> Snapshot:
+    """Map and validate one snapshot file (resolving any parent chain).
+
+    Verifies magic, format version, expected ``kind``, manifest sanity,
+    chain depth, and every payload's crc32 before returning — for a
+    differential snapshot, referenced payloads are mapped out of their
+    owning files and checked against the *referring* manifest's recorded
+    crc, with the same per-link validation a direct load would perform.
+    Any defect raises :class:`~repro.errors.SnapshotError` with a
+    ``reason`` code (``missing`` / ``bad-magic`` / ``bad-header`` /
+    ``version-mismatch`` / ``kind-mismatch`` / ``truncated`` /
+    ``checksum-mismatch`` / ``chain-too-deep``).
+    """
+    path = os.fspath(path)
+    raw = _map_raw(path)
     if raw.size < 16 or raw[:8].tobytes() != MAGIC:
         raise SnapshotError(
             f"{path!r} is not a snapshot file (bad magic)", reason="bad-magic"
@@ -186,10 +391,10 @@ def load_snapshot(path, *, kind: str | None = None) -> Snapshot:
             f"snapshot {path!r} has a malformed header: {exc}",
             reason="bad-header",
         ) from exc
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"snapshot {path!r} is format version {version!r}, this build "
-            f"reads {FORMAT_VERSION}",
+            f"reads {SUPPORTED_VERSIONS}",
             reason="version-mismatch",
         )
     if kind is not None and file_kind != kind:
@@ -198,39 +403,64 @@ def load_snapshot(path, *, kind: str | None = None) -> Snapshot:
             f"{kind!r}",
             reason="kind-mismatch",
         )
+    parent = header.get("parent")
+    depth = int(header.get("depth", 0))
+    if parent is not None:
+        _check_link_name(path, parent)
+    if depth > MAX_CHAIN:
+        raise SnapshotError(
+            f"snapshot {path!r} declares a parent chain {depth} deep "
+            f"(bound {MAX_CHAIN})",
+            reason="chain-too-deep",
+        )
+    directory = os.path.dirname(path)
     data_start = _align(16 + int(header_len))
+    links: dict[str, np.memmap] = {}
     views: dict[str, np.ndarray] = {}
     for spec in manifest:
         try:
             name = spec["name"]
             dtype = np.dtype(spec["dtype"])
             shape = tuple(int(dim) for dim in spec["shape"])
-            offset = int(spec["offset"])
             nbytes = int(spec["nbytes"])
             crc = int(spec["crc32"])
+            if "ref" in spec:
+                ref_file, ref_offset = spec["ref"]
+                ref_offset = int(ref_offset)
+                source, start = None, ref_offset
+            else:
+                ref_file = None
+                source, start = raw, data_start + int(spec["offset"])
+                if int(spec["offset"]) < 0:
+                    raise ValueError("negative offset")
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(
                 f"snapshot {path!r} has a malformed slab manifest: {exc}",
                 reason="bad-header",
             ) from exc
         expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-        if nbytes != expected or offset < 0:
+        if nbytes != expected or start < 0:
             raise SnapshotError(
                 f"snapshot {path!r} slab {name!r} manifest is inconsistent "
                 f"({nbytes} bytes for shape {shape} of {dtype.str})",
                 reason="bad-header",
             )
-        start = data_start + offset
-        if start + nbytes > raw.size:
+        if ref_file is not None:
+            _check_link_name(path, ref_file)
+            source = _open_link(directory, ref_file, file_kind, links)
+            owner = os.path.join(directory, ref_file)
+        else:
+            owner = path
+        if start + nbytes > source.size:
             raise SnapshotError(
-                f"snapshot {path!r} is truncated inside slab {name!r}",
+                f"snapshot {owner!r} is truncated inside slab {name!r}",
                 reason="truncated",
             )
-        payload = raw[start : start + nbytes]
+        payload = source[start : start + nbytes]
         if zlib.crc32(payload) != crc:
             raise SnapshotError(
-                f"snapshot {path!r} slab {name!r} fails its checksum",
+                f"snapshot {owner!r} slab {name!r} fails its checksum",
                 reason="checksum-mismatch",
             )
         views[name] = payload.view(dtype).reshape(shape)
-    return Snapshot(path, file_kind, meta, views)
+    return Snapshot(path, file_kind, meta, views, parent=parent, depth=depth)

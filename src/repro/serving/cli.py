@@ -81,6 +81,20 @@ def _parser() -> argparse.ArgumentParser:
         help="skip the request-at-a-time comparison run",
     )
     parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="response-cache bound in entries (default 256); repeat "
+        "non-mutating requests on an unchanged stream serve from it "
+        "at admission, byte-identical to cold execution",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the response cache (same as --cache-capacity 0)",
+    )
+    parser.add_argument(
         "--snapshot-dir",
         default=None,
         metavar="DIR",
@@ -95,6 +109,15 @@ def _parser() -> argparse.ArgumentParser:
         metavar="N",
         help="additionally checkpoint after every N admission windows "
         "(requires --snapshot-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-mode",
+        choices=("full", "delta"),
+        default="full",
+        help="checkpoint strategy: 'full' re-writes every slab, 'delta' "
+        "writes differential checkpoints re-writing only changed "
+        "members' slabs (compacted every few links; requires "
+        "--snapshot-dir)",
     )
     return parser
 
@@ -117,6 +140,12 @@ def _report(label: str, report: ReplayReport, health: dict) -> None:
         f"  batches {stats['batches']}, largest {stats['largest_batch']}, "
         f"coalesced requests {stats['coalesced']}, "
         f"deadline hits {stats['deadline_hits']}"
+    )
+    lookups = stats["cache_hits"] + stats["cache_misses"]
+    hit_rate = stats["cache_hits"] / lookups if lookups else 0.0
+    print(
+        f"  cache: {stats['cache_hits']} hits / {lookups} lookups "
+        f"(hit rate {hit_rate:.1%})"
     )
     executor = health["executor"]
     if executor is not None:
@@ -162,12 +191,17 @@ async def _run(args: argparse.Namespace) -> None:
                 kill_limit=args.chaos_kill_limit,
             )
             label = f"{label}+chaos"
+        cache_capacity = 0 if args.no_cache else args.cache_capacity
         service = HistogramService(
             generator.stream_names,
             args.n,
             args.k,
             args.epsilon,
-            config=ServiceConfig(max_batch=max_batch, max_linger_us=linger_us),
+            config=ServiceConfig(
+                max_batch=max_batch,
+                max_linger_us=linger_us,
+                cache_capacity=cache_capacity,
+            ),
             references={config.reference: reference},
             workers=args.workers,
             max_respawns=args.max_respawns,
@@ -175,10 +209,11 @@ async def _run(args: argparse.Namespace) -> None:
             rng=args.seed,
             snapshot_dir=args.snapshot_dir,
             checkpoint_every=args.checkpoint_every,
+            checkpoint_mode=args.checkpoint_mode,
         )
         if args.snapshot_dir is not None:
             if service.warm_started:
-                print(f"warm start: restored {service.snapshot_path}")
+                print(f"warm start: restored {service.restored_from}")
             else:
                 print(f"cold start: {service.restore_error}")
         async with service:
@@ -188,8 +223,9 @@ async def _run(args: argparse.Namespace) -> None:
             stats = service.stats
             print(
                 f"checkpoints: {stats['checkpoints']} written "
-                f"({stats['checkpoint_failures']} failed) -> "
-                f"{service.snapshot_path}"
+                f"({stats['checkpoint_failures']} failed, last "
+                f"{stats['checkpoint_bytes']} bytes, mode "
+                f"{args.checkpoint_mode}) -> {service.snapshot_path}"
             )
 
 

@@ -12,8 +12,9 @@ coalescer (:mod:`repro.serving.service`):
   with different signatures must never be reordered (their pool draws
   interleave on the member's generator).
 * :attr:`Request.mutates` — whether the request changes stream state
-  (today: ``ingest``).  A mutating request is an ordering barrier for
-  its stream.
+  (``ingest`` absorbs observations; ``learn`` at the maintainer's
+  configured point commits the stored histogram).  A mutating request
+  is an ordering barrier for its stream, and fences the response cache.
 
 A :class:`Response` is the structured answer: ``ok`` plus the result
 object, or a taxonomy-coded error (:func:`error_payload`) mapping the
@@ -58,6 +59,13 @@ OPS = (
     "min_k",
     "selectivity",
 )
+
+#: Non-mutating ops whose responses are a pure function of the stream's
+#: sketch state — the response cache may serve repeats of these at
+#: admission, keyed by the stream's generation epoch.  ``learn`` is
+#: excluded: it can commit the stored histogram (a mutation), and its
+#: result legitimately reflects that commit.
+CACHEABLE_OPS = ("test", "uniformity", "identity", "min_k", "selectivity")
 
 
 @dataclass(frozen=True)
@@ -172,8 +180,28 @@ class Request:
 
     @property
     def mutates(self) -> bool:
-        """Whether this request changes its stream's state."""
-        return self.op == "ingest"
+        """Whether this request may change its stream's state.
+
+        ``ingest`` always does; ``learn`` does when it runs at the
+        maintainer's configured operating point (the stored histogram —
+        which ``selectivity`` reads — is refreshed).  The service treats
+        every ``learn`` as mutating: a conservative fence costs a cache
+        miss, a missed fence would serve a stale byte.
+        """
+        return self.op in ("ingest", "learn")
+
+    @property
+    def cache_key(self) -> tuple:
+        """The response-cache identity of a cacheable request.
+
+        :attr:`signature` plus the per-request payload fields the
+        signature deliberately drops (selectivity bounds).  Only defined
+        for :data:`CACHEABLE_OPS`; deadlines stay excluded — they gate
+        *whether* a request runs, never what it answers.
+        """
+        if self.op == "selectivity":
+            return ("selectivity", self.start, self.stop)
+        return self.signature
 
     def with_deadline(self, deadline_ms: float | None) -> "Request":
         """This request carrying a latency budget (or shedding one).

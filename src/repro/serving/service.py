@@ -19,6 +19,14 @@ one named stream.  This module is the layer between the two:
   member's private generator, so cross-signature order is what keeps
   results replayable).  Duplicate in-window requests share one
   execution.
+* **response caching** — repeat non-mutating requests are served at
+  admission from a bounded LRU keyed by
+  ``(stream, generation, request identity)``.  The generation epoch
+  (:meth:`~repro.streaming.FleetMaintainer.generation`) moves on every
+  state mutation, so a cached hit is byte-identical to a cold execution
+  by construction; a pending ingest/learn on a stream fences later
+  reads of that stream until it resolves, preserving per-stream
+  ordering.
 * **backpressure-safe shutdown** — :meth:`close` stops admission
   (later submits raise :class:`~repro.errors.ServiceClosedError`),
   drains the backlog, and closes the executor the service owns.
@@ -35,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
@@ -53,11 +62,22 @@ from repro.errors import (
     UnknownStreamError,
 )
 from repro.histograms.intervals import Interval
-from repro.serving.requests import OPS, Request, Response, error_response
+from repro.serving.requests import (
+    CACHEABLE_OPS,
+    OPS,
+    Request,
+    Response,
+    error_response,
+)
 from repro.streaming.fleet import FleetMaintainer
 from repro.utils.faults import FaultPlan
 
 _STOP = object()
+
+# A delta chain this deep triggers a full "compaction" checkpoint: the
+# next write re-writes every slab into ``service.snap`` and prunes the
+# delta files, so restore cost and corruption surface stay bounded.
+_COMPACT_EVERY = 8
 
 
 @dataclass(frozen=True)
@@ -81,12 +101,19 @@ class ServiceConfig:
         :class:`~repro.errors.OverloadedError`.
     retry_after_s:
         The backoff hint (seconds) carried by overload rejections.
+    cache_capacity:
+        Bound on the response cache (entries); ``0`` disables it.  The
+        cache serves repeat non-mutating requests at admission, keyed by
+        ``(stream, generation, request identity)`` — an ingest or learn
+        bumps the stream's generation and structurally orphans its
+        entries, so a hit is always byte-identical to a cold execution.
     """
 
     max_batch: int = 32
     max_linger_us: float = 500.0
     max_queue: int = 1024
     retry_after_s: float = 0.05
+    cache_capacity: int = 256
 
     def __post_init__(self) -> None:
         if int(self.max_batch) != self.max_batch or self.max_batch < 1:
@@ -104,6 +131,11 @@ class ServiceConfig:
         if self.retry_after_s < 0:
             raise InvalidParameterError(
                 f"retry_after_s must be >= 0, got {self.retry_after_s!r}"
+            )
+        if int(self.cache_capacity) != self.cache_capacity or self.cache_capacity < 0:
+            raise InvalidParameterError(
+                f"cache_capacity must be a non-negative integer, got "
+                f"{self.cache_capacity!r}"
             )
 
 
@@ -157,7 +189,20 @@ class HistogramService:
         Additionally checkpoint after every this-many admission windows
         (between windows, under the collector — checkpoints never
         interleave with a batch).  ``None`` (default) checkpoints only
-        at drain-close.  Requires ``snapshot_dir``.
+        at drain-close.  Requires ``snapshot_dir``.  Windows in which no
+        stream's generation moved (only rejected, expired, or repeat
+        read traffic) skip the write — checkpoint cost follows churn,
+        not wall-clock.
+    checkpoint_mode:
+        ``"full"`` (default) re-writes every slab each checkpoint.
+        ``"delta"`` writes differential checkpoints: only slabs whose
+        owning member's generation moved since the parent snapshot are
+        re-written, unchanged payloads are carried as references into
+        the parent file, and every ``_COMPACT_EVERY`` links a full
+        compaction snapshot re-bases the chain (pruning the delta
+        files).  A delta that cannot be expressed against its parent
+        falls back to a full write — self-healing, never an error.
+        Requires ``snapshot_dir``.
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`close` explicitly.  All execution happens on the event-loop
@@ -187,6 +232,7 @@ class HistogramService:
         rng: "int | None | np.random.Generator" = None,
         snapshot_dir: "str | os.PathLike | None" = None,
         checkpoint_every: int | None = None,
+        checkpoint_mode: str = "full",
     ) -> None:
         streams = list(streams)
         if not streams:
@@ -237,9 +283,22 @@ class HistogramService:
             "coalesced": 0,
             "largest_batch": 0,
             "deadline_hits": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
             "checkpoints": 0,
             "checkpoint_failures": 0,
+            "checkpoint_bytes": 0,
         }
+        self._cache: "OrderedDict[tuple, Response]" = OrderedDict()
+        self._pending_mutations: dict[str, int] = {}
+        if checkpoint_mode not in ("full", "delta"):
+            raise InvalidParameterError(
+                f"checkpoint_mode must be 'full' or 'delta', got "
+                f"{checkpoint_mode!r}"
+            )
+        if checkpoint_mode == "delta" and snapshot_dir is None:
+            raise InvalidParameterError("checkpoint_mode='delta' requires snapshot_dir")
+        self._checkpoint_mode = checkpoint_mode
         if checkpoint_every is not None:
             if snapshot_dir is None:
                 raise InvalidParameterError(
@@ -256,11 +315,23 @@ class HistogramService:
         )
         self._checkpoint_every = checkpoint_every
         self._warm_started = False
+        self._restored_from: str | None = None
         self._restore_error: str | None = None
+        # Delta-chain state.  ``_chain_parent`` is None until this
+        # process writes its first checkpoint (always a full one — a
+        # restored process's generation counters are not comparable to
+        # the writer's), and ``_checkpoint_generations`` is the
+        # per-member watermark the next delta diffs against.
+        self._chain_parent: str | None = None
+        self._chain_depth = 0
+        self._delta_seq = 0
+        self._checkpoint_generations: "list[int] | None" = None
         if self._snapshot_dir is not None:
             os.makedirs(self._snapshot_dir, exist_ok=True)
+            self._delta_seq = self._scan_delta_seq()
+            restore_path = self._latest_checkpoint_path()
             try:
-                self._restore(self.snapshot_path)
+                self._restore(restore_path)
             except SnapshotError as exc:
                 # Graceful degradation: a missing, corrupt, truncated,
                 # or mismatched snapshot means a cold start, never a
@@ -269,6 +340,7 @@ class HistogramService:
                 self._restore_error = f"{exc.reason}: {exc}"
             else:
                 self._warm_started = True
+                self._restored_from = restore_path
 
     # -------------------------------------------------------------- #
     # introspection
@@ -300,6 +372,12 @@ class HistogramService:
     def warm_started(self) -> bool:
         """Whether construction restored state from a snapshot."""
         return self._warm_started
+
+    @property
+    def restored_from(self) -> str | None:
+        """The checkpoint file the warm start restored — in delta mode
+        the newest chain link, not the full parent (``None`` if cold)."""
+        return self._restored_from
 
     @property
     def restore_error(self) -> str | None:
@@ -340,6 +418,7 @@ class HistogramService:
             "streams": len(self._names),
             "accepting": self._accepting,
             "warm_started": self._warm_started,
+            "generations": self._maintainer.generations,
             "stats": self.stats,
             "executor": (
                 self._executor.health() if self._executor is not None else None
@@ -359,10 +438,17 @@ class HistogramService:
 
         The write is temp-file + fsync + atomic rename, so a crash mid-
         checkpoint leaves the previous generation intact and restorable.
-        Raises :class:`~repro.errors.InvalidParameterError` without a
+        In ``checkpoint_mode="delta"`` (with an in-process parent and a
+        chain shorter than ``_COMPACT_EVERY``) only slabs whose owning
+        member's generation moved since the parent are re-written; the
+        rest ride as references into the parent file.  A delta that
+        cannot be expressed (parent dropped a referenced slab) falls
+        back to a full compaction write.  Raises
+        :class:`~repro.errors.InvalidParameterError` without a
         ``snapshot_dir``; any write failure propagates (the periodic and
         drain-close call sites swallow it into the
         ``checkpoint_failures`` counter instead of killing serving).
+        Returns the path actually written.
         """
         path = self.snapshot_path
         if path is None:
@@ -372,14 +458,94 @@ class HistogramService:
         from repro.persist import codec, format as persist_format
 
         maintainer_meta, slabs = codec.maintainer_state(self._maintainer)
-        persist_format.write_snapshot(
-            path,
-            kind="service",
-            meta={"streams": list(self._names), "maintainer": maintainer_meta},
-            slabs=slabs,
-        )
+        meta = {"streams": list(self._names), "maintainer": maintainer_meta}
+        generations = self._maintainer.generations
+        written: str | None = None
+        if (
+            self._checkpoint_mode == "delta"
+            and self._chain_parent is not None
+            and self._checkpoint_generations is not None
+            and self._chain_depth < _COMPACT_EVERY
+        ):
+            changed = {
+                f
+                for f, (old, new) in enumerate(
+                    zip(self._checkpoint_generations, generations)
+                )
+                if old != new
+            }
+            delta_slabs = {}
+            unchanged = []
+            for name, slab in slabs.items():
+                owner = codec.slab_member(name)
+                if owner is None or owner in changed:
+                    delta_slabs[name] = slab
+                else:
+                    unchanged.append(name)
+            delta_path = os.path.join(
+                self._snapshot_dir, f"service-delta-{self._delta_seq + 1:06d}.snap"
+            )
+            try:
+                persist_format.write_snapshot(
+                    delta_path,
+                    kind="service",
+                    meta=meta,
+                    slabs=delta_slabs,
+                    parent=self._chain_parent,
+                    unchanged=unchanged,
+                )
+            except SnapshotError:
+                # The parent cannot back this delta (e.g. a referenced
+                # slab vanished from its manifest) — self-heal by
+                # compacting to a full snapshot below.
+                pass
+            else:
+                written = delta_path
+                self._delta_seq += 1
+                self._chain_parent = delta_path
+                self._chain_depth += 1
+        if written is None:
+            persist_format.write_snapshot(path, kind="service", meta=meta, slabs=slabs)
+            written = path
+            self._chain_parent = path
+            self._chain_depth = 0
+            self._prune_deltas()
+        self._checkpoint_generations = generations
         self._stats["checkpoints"] += 1
-        return path
+        self._stats["checkpoint_bytes"] = os.path.getsize(written)
+        return written
+
+    def _scan_delta_seq(self) -> int:
+        """Highest delta sequence number present in the snapshot dir."""
+        highest = 0
+        for name in os.listdir(self._snapshot_dir):
+            if name.startswith("service-delta-") and name.endswith(".snap"):
+                try:
+                    seq = int(name[len("service-delta-") : -len(".snap")])
+                except ValueError:
+                    continue
+                highest = max(highest, seq)
+        return highest
+
+    def _latest_checkpoint_path(self) -> str:
+        """The newest checkpoint on disk: the max-seq delta, else the full."""
+        if self._delta_seq > 0:
+            candidate = os.path.join(
+                self._snapshot_dir, f"service-delta-{self._delta_seq:06d}.snap"
+            )
+            if os.path.exists(candidate):
+                return candidate
+        return self.snapshot_path
+
+    def _prune_deltas(self) -> None:
+        """Drop superseded delta files after a full compaction write."""
+        for name in os.listdir(self._snapshot_dir):
+            if name.startswith("service-delta-") and name.endswith(".snap"):
+                try:
+                    os.unlink(os.path.join(self._snapshot_dir, name))
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        self._delta_seq = 0
 
     def _restore(self, path: str) -> None:
         """Warm-start the maintainer tree from ``path`` (or raise)."""
@@ -403,6 +569,14 @@ class HistogramService:
             if self._checkpoint_every is None:
                 return
             if self._stats["windows"] % self._checkpoint_every != 0:
+                return
+            if (
+                self._checkpoint_generations is not None
+                and self._maintainer.generations == self._checkpoint_generations
+            ):
+                # Nothing mutated since the last successful checkpoint —
+                # the window held only rejected/expired/repeat-read
+                # traffic, so the file on disk is already current.
                 return
         try:
             self.checkpoint()
@@ -532,6 +706,28 @@ class HistogramService:
                 self._stats["deadline_hits"] += 1
                 return error_response(request, self._deadline_error(request))
             deadline = loop.time() + budget_ms / 1e3
+        if (
+            self._config.cache_capacity
+            and request.op in CACHEABLE_OPS
+            and not self._pending_mutations.get(request.stream)
+        ):
+            # Serve a repeat read at admission.  The key carries the
+            # stream's generation, so an entry outlives a mutation only
+            # as an orphan; the pending-mutation fence above keeps an
+            # admitted-but-unexecuted ingest/learn ordered before later
+            # reads of its stream, exactly as the batch planner would.
+            key = (
+                request.stream,
+                self._maintainer.generation(self._index[request.stream]),
+                request.cache_key,
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._stats["cache_hits"] += 1
+                self._stats["served"] += 1
+                return cached
+            self._stats["cache_misses"] += 1
         future = loop.create_future()
         try:
             self._queue.put_nowait((request, future, deadline))
@@ -541,7 +737,22 @@ class HistogramService:
                 f"admission queue full ({self._config.max_queue} requests)",
                 retry_after=self._config.retry_after_s,
             ) from None
+        if request.mutates:
+            # Fence the stream until this mutation resolves (served,
+            # expired, or failed — the done callback runs either way).
+            stream = request.stream
+            self._pending_mutations[stream] = (
+                self._pending_mutations.get(stream, 0) + 1
+            )
+            future.add_done_callback(lambda _f, s=stream: self._release_fence(s))
         return await future
+
+    def _release_fence(self, stream: str) -> None:
+        remaining = self._pending_mutations.get(stream, 0) - 1
+        if remaining > 0:
+            self._pending_mutations[stream] = remaining
+        else:
+            self._pending_mutations.pop(stream, None)
 
     # -------------------------------------------------------------- #
     # the collector
@@ -766,15 +977,28 @@ class HistogramService:
         if not pending:
             return
         results = self._run_probe(op, head, members)
+        cacheable = self._config.cache_capacity and op in CACHEABLE_OPS
         for request, future in pending:
-            future.set_result(
-                Response(
-                    ok=True,
-                    op=op,
-                    stream=request.stream,
-                    result=results(request, seen[request.stream]),
-                )
+            response = Response(
+                ok=True,
+                op=op,
+                stream=request.stream,
+                result=results(request, seen[request.stream]),
             )
+            if cacheable:
+                # Keyed at the *post*-execution generation: the probe
+                # itself may have grown pools or compiled sketches, and
+                # the response reflects that state.
+                key = (
+                    request.stream,
+                    self._maintainer.generation(self._index[request.stream]),
+                    request.cache_key,
+                )
+                self._cache[key] = response
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._config.cache_capacity:
+                    self._cache.popitem(last=False)
+            future.set_result(response)
 
     def _run_probe(self, op: str, head: Request, members: list[int]):
         """Dispatch one batch op; returns a per-request result reader."""

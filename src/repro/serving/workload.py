@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import InvalidParameterError, OverloadedError
-from repro.serving.requests import Request, Response, canonical
+from repro.serving.requests import CACHEABLE_OPS, Request, Response, canonical
 from repro.serving.service import HistogramService
 from repro.utils.rng import as_rng
 
@@ -74,6 +74,12 @@ class WorkloadConfig:
     chain_after_test:
         Probability a ``test`` is chained with an immediate ``learn``
         on the same stream.
+    requery_bias:
+        Probability a probe *re-issues* a recently issued probe
+        verbatim (same stream, same parameters) instead of drawing a
+        fresh one — the dashboard-refresh client whose repeats the
+        response cache absorbs.  ``0.0`` (the default) consumes zero
+        extra rng draws, so existing seeded traces stay byte-identical.
     burst_every / burst_len / burst_boost:
         Storm period and length (in requests) and the gap-shrink
         factor inside a storm.  A storm spends its first half as an
@@ -118,6 +124,7 @@ class WorkloadConfig:
     )
     l1_fraction: float = 0.2
     chain_after_test: float = 0.35
+    requery_bias: float = 0.0
     burst_every: int = 128
     burst_len: int = 32
     burst_boost: float = 8.0
@@ -145,6 +152,10 @@ class WorkloadConfig:
             raise InvalidParameterError(f"unknown ops in mix: {sorted(unknown)}")
         if not any(weight > 0 for _, weight in self.mix):
             raise InvalidParameterError("mix needs at least one positive weight")
+        if not 0.0 <= self.requery_bias <= 1.0:
+            raise InvalidParameterError(
+                f"requery_bias must be in [0, 1], got {self.requery_bias!r}"
+            )
 
 
 class WorkloadGenerator:
@@ -239,6 +250,10 @@ class WorkloadGenerator:
             probe_weights /= probe_weights.sum()
         cohort: "np.ndarray | None" = None
         ingest_wave = max(config.burst_len // 2, 1)
+        # The requery window: the last few cacheable probes, eligible
+        # for verbatim replay under ``requery_bias``.  Bounded so the
+        # repeat traffic stays *recent* (a cache-sized working set).
+        recent: list[Request] = []
         issued = 0
         while issued < config.requests:
             position = issued % max(config.burst_every, 1)
@@ -265,24 +280,42 @@ class WorkloadGenerator:
             else:
                 member = self._draw_stream(rng)
                 op = ops[int(rng.choice(len(ops), p=weights))]
-            name = self._names[member]
-            if op == "ingest":
-                request = Request.ingest(name, self._draw_values(rng, member))
-            elif op == "learn":
-                request = Request.learn(name)
-            elif op == "test":
-                norm = "l1" if rng.random() < config.l1_fraction else "l2"
-                request = Request.test(name, norm=norm)
-            elif op == "uniformity":
-                request = Request.uniformity(name)
-            elif op == "identity":
-                request = Request.identity(name, config.reference)
-            elif op == "min_k":
-                norm = "l1" if rng.random() < config.l1_fraction else "l2"
-                request = Request.min_k(name, max_k=2 * config.k, norm=norm)
-            else:  # selectivity
-                start, stop = self._draw_range(rng)
-                request = Request.selectivity(name, start, stop)
+            if (
+                config.requery_bias
+                and recent
+                and op != "ingest"
+                and rng.random() < config.requery_bias
+            ):
+                # The refresh client: re-issue a recent probe verbatim
+                # (same stream, same parameters) — repeat traffic the
+                # response cache can absorb.  Guarded so ``bias == 0``
+                # consumes zero extra rng draws.
+                request = recent[int(rng.integers(0, len(recent)))]
+                op = request.op
+                name = request.stream
+            else:
+                name = self._names[member]
+                if op == "ingest":
+                    request = Request.ingest(name, self._draw_values(rng, member))
+                elif op == "learn":
+                    request = Request.learn(name)
+                elif op == "test":
+                    norm = "l1" if rng.random() < config.l1_fraction else "l2"
+                    request = Request.test(name, norm=norm)
+                elif op == "uniformity":
+                    request = Request.uniformity(name)
+                elif op == "identity":
+                    request = Request.identity(name, config.reference)
+                elif op == "min_k":
+                    norm = "l1" if rng.random() < config.l1_fraction else "l2"
+                    request = Request.min_k(name, max_k=2 * config.k, norm=norm)
+                else:  # selectivity
+                    start, stop = self._draw_range(rng)
+                    request = Request.selectivity(name, start, stop)
+                if op in CACHEABLE_OPS:
+                    recent.append(request)
+                    if len(recent) > 32:
+                        del recent[0]
             if config.deadline_ms is not None:
                 request = request.with_deadline(config.deadline_ms)
             events.append((at_us, request))

@@ -122,6 +122,9 @@ class FleetMaintainer:
         self._stale = [False] * fleet_size
         self._rebuilds = 0
         self._histograms: list[TilingHistogram | None] = [None] * fleet_size
+        # Maintainer-level mutation counters: reservoir intake and stored
+        # -histogram commits, which the fleet's bundle epochs cannot see.
+        self._mutations = [0] * fleet_size
 
     # -------------------------------------------------------------- #
     # introspection
@@ -156,6 +159,28 @@ class FleetMaintainer:
     def fleet(self) -> HistogramFleet:
         """The underlying fleet facade (pools, caches, diagnostics)."""
         return self._fleet
+
+    def generation(self, member: int) -> int:
+        """Stream ``member``'s mutation epoch.
+
+        The sum of the maintainer's own mutation counter (reservoir
+        intake, stored-histogram commits) and the member bundle's epoch
+        (pool growth, compiles, invalidation, restore).  Both addends
+        are monotonic, so the sum is too: equal generations bracket a
+        span in which nothing about the member's retained state changed,
+        which is what response caches and differential checkpoints key
+        on.
+        """
+        self._check_member(member)
+        return self._mutations[member] + self._fleet.generation(member)
+
+    @property
+    def generations(self) -> list[int]:
+        """Per-stream mutation epochs (see :meth:`generation`)."""
+        return [
+            self._mutations[f] + self._fleet.generation(f)
+            for f in range(self.fleet_size)
+        ]
 
     def _check_member(self, member: int) -> None:
         if not 0 <= member < self.fleet_size:
@@ -235,6 +260,7 @@ class FleetMaintainer:
         self._items_seen[member] += 1
         self._since_rebuild[member] += 1
         self._stale[member] = True
+        self._mutations[member] += 1
 
     def update_many(self, member: int, values: np.ndarray) -> None:
         """Observe a batch of items on stream ``member``.
@@ -262,6 +288,7 @@ class FleetMaintainer:
         self._items_seen[member] += int(values.size)
         self._since_rebuild[member] += int(values.size)
         self._stale[member] = True
+        self._mutations[member] += 1
 
     def _sync(self) -> None:
         """Lazily drop stale members' pools before the next fleet op."""
@@ -312,6 +339,7 @@ class FleetMaintainer:
                 self._histograms[f] = result.filled_histogram
                 self._since_rebuild[f] = 0
                 self._rebuilds += 1
+                self._mutations[f] += 1
         return [self._histograms[f] for f in members]
 
     def histogram(self, member: int) -> TilingHistogram:
@@ -331,6 +359,7 @@ class FleetMaintainer:
             self._histograms[member] = result.filled_histogram
             self._since_rebuild[member] = 0
             self._rebuilds += 1
+            self._mutations[member] += 1
         return self._histograms[member]
 
     # -------------------------------------------------------------- #
@@ -433,6 +462,7 @@ class FleetMaintainer:
                 self._histograms[member] = result.filled_histogram
                 self._since_rebuild[member] = 0
                 self._rebuilds += 1
+                self._mutations[member] += 1
         return results
 
     def _probe_sketch(self, member: int, params: TesterParams):

@@ -27,6 +27,7 @@ where.
 from __future__ import annotations
 
 import itertools
+import os
 
 import numpy as np
 import pytest
@@ -392,3 +393,149 @@ def test_snapshot_cell_matches_live_fleet(tmp_path, workers, shards):
     finally:
         if executor is not None:
             executor.close()
+
+
+# ------------------------------------------------------------------ #
+# serving axes: the response cache and the checkpoint mode are
+# byte-free — responses, query logs, and memo accounting all match
+# ------------------------------------------------------------------ #
+
+
+def _serve_workload():
+    """A requery-heavy pinned workload (repeats are what the cache eats)."""
+    from repro.serving import WorkloadConfig
+
+    return WorkloadConfig(
+        streams=4,
+        requests=60,
+        seed=5,
+        n=N,
+        k=3,
+        epsilon=0.3,
+        requery_bias=0.5,
+        ingest_batch=24,
+        burst_every=24,
+        burst_len=8,
+    )
+
+
+def _build_service(names, cache_capacity, **kwargs):
+    from repro.serving import HistogramService, ServiceConfig
+
+    return HistogramService(
+        names,
+        N,
+        3,
+        0.3,
+        config=ServiceConfig(
+            max_batch=8,
+            max_linger_us=200.0,
+            max_queue=4096,
+            cache_capacity=cache_capacity,
+        ),
+        references={"baseline": np.full(N, 1.0 / N)},
+        reservoir_capacity=512,
+        params=LEARN_PARAMS,
+        tester_params=TEST_PARAMS,
+        rng=9,
+        **kwargs,
+    )
+
+
+def _serve_memo(service) -> tuple:
+    """Per-member memo accounting *excluding hit counts*.
+
+    A response-cache hit legitimately skips the memo query a cold
+    execution would have made, so hits differ across the cache axis; the
+    memo *table* and its miss counts may not.
+    """
+    maintainer = service.maintainer
+    return tuple(
+        tuple(
+            (key, compiled.memo_misses, compiled.memo_size)
+            for key, compiled in sorted(
+                maintainer.fleet.session(f)._bundle._tester_compiled_cache.items()
+            )
+        )
+        for f in range(maintainer.fleet_size)
+    )
+
+
+def test_response_cache_cell_matches_reference():
+    """Cache on == cache off, byte for byte, memo misses included."""
+    import asyncio
+
+    from repro.serving import WorkloadGenerator, canonical, replay
+
+    config = _serve_workload()
+    generator = WorkloadGenerator(config)
+    trace = generator.trace()
+
+    def run(cache_capacity):
+        async def scenario():
+            service = _build_service(generator.stream_names, cache_capacity)
+            async with service:
+                report = await replay(service, trace, clients=8, collect=True)
+            return (
+                tuple(canonical(r) for r in report.responses),
+                _serve_memo(service),
+                dict(service.stats),
+            )
+
+        return asyncio.run(scenario())
+
+    reference_trace, reference_memo, _ = run(0)
+    cached_trace, cached_memo, cached_stats = run(256)
+    assert cached_stats["cache_hits"] > 0  # the axis is real
+    assert cached_trace == reference_trace
+    assert cached_memo == reference_memo
+
+
+@pytest.mark.shm_guard
+@pytest.mark.parametrize("mode", ["full", "delta"])
+def test_checkpoint_mode_cell_matches_live_service(tmp_path, mode):
+    """A service restored from either checkpoint mode finishes the
+    pinned workload byte-identically to one that never restarted."""
+    import asyncio
+
+    from repro.serving import canonical
+    from repro.serving import WorkloadGenerator
+
+    config = _serve_workload()
+    generator = WorkloadGenerator(config)
+    requests = [request for _, request in generator.trace()]
+    split = (len(requests) * 2) // 3
+    head, tail = requests[:split], requests[split:]
+    snapshot_dir = tmp_path / mode
+
+    async def scenario():
+        live = _build_service(
+            generator.stream_names,
+            256,
+            snapshot_dir=snapshot_dir,
+            checkpoint_mode=mode,
+            checkpoint_every=2,
+        )
+        async with live:
+            for request in head:
+                await live.submit(request)
+        # The mode really ran: beyond the chain-base write, every later
+        # checkpoint in delta mode takes the differential path.
+        assert live.stats["checkpoints"] >= 2
+        reference = _build_service(generator.stream_names, 256)
+        async with reference:
+            ref = [canonical(await reference.submit(r)) for r in requests]
+        restored = _build_service(
+            generator.stream_names,
+            256,
+            snapshot_dir=snapshot_dir,
+            checkpoint_mode=mode,
+        )
+        assert restored.warm_started, restored.restore_error
+        async with restored:
+            warm = [canonical(await restored.submit(r)) for r in tail]
+        assert warm == ref[split:]
+        assert _serve_memo(restored) == _serve_memo(reference)
+        assert os.path.exists(snapshot_dir / "service.snap")
+
+    asyncio.run(scenario())

@@ -180,6 +180,224 @@ class TestFormat:
 
 
 # ------------------------------------------------------------------ #
+# differential snapshots (format v2)
+# ------------------------------------------------------------------ #
+
+
+def _delta_header(path):
+    header, _ = persist_format._read_header(os.fspath(path))
+    return header
+
+
+class TestDifferentialFormat:
+    A = np.arange(512, dtype=np.int64)
+    B = np.linspace(0.0, 1.0, 33)
+
+    def _base(self, tmp_path):
+        base = tmp_path / "base.snap"
+        write_snapshot(
+            base, kind="demo", meta={"gen": 1}, slabs={"a": self.A, "b": self.B}
+        )
+        return base
+
+    def test_delta_round_trip_resolves_parent_refs(self, tmp_path):
+        base = self._base(tmp_path)
+        delta = tmp_path / "delta.snap"
+        b2 = self.B * 2.0
+        write_snapshot(
+            delta,
+            kind="demo",
+            meta={"gen": 2},
+            slabs={"b": b2},
+            parent=base,
+            unchanged=["a"],
+        )
+        snap = load_snapshot(delta, kind="demo")
+        assert snap.meta == {"gen": 2}
+        assert snap.parent == "base.snap" and snap.depth == 1
+        assert np.array_equal(snap.slab("a"), self.A)
+        assert np.array_equal(snap.slab("b"), b2)
+        assert not snap.slab("a").flags.writeable
+        # Only the changed payload was re-written.
+        assert os.path.getsize(delta) < os.path.getsize(base)
+
+    def test_refs_to_refs_flatten_to_the_owning_file(self, tmp_path):
+        base = self._base(tmp_path)
+        first = tmp_path / "first.snap"
+        second = tmp_path / "second.snap"
+        write_snapshot(
+            first,
+            kind="demo",
+            meta={},
+            slabs={"b": self.B * 3.0},
+            parent=base,
+            unchanged=["a"],
+        )
+        write_snapshot(
+            second,
+            kind="demo",
+            meta={},
+            slabs={},
+            parent=first,
+            unchanged=["a", "b"],
+        )
+        refs = {
+            spec["name"]: spec["ref"][0]
+            for spec in _delta_header(second)["slabs"]
+            if "ref" in spec
+        }
+        # "a" chains through first but its reference points straight at
+        # the base file: resolution is always one hop.
+        assert refs == {"a": "base.snap", "b": "first.snap"}
+        snap = load_snapshot(second, kind="demo")
+        assert np.array_equal(snap.slab("a"), self.A)
+        assert np.array_equal(snap.slab("b"), self.B * 3.0)
+
+    def test_unknown_unchanged_name_is_missing_slab(self, tmp_path):
+        base = self._base(tmp_path)
+        with pytest.raises(SnapshotError) as excinfo:
+            write_snapshot(
+                tmp_path / "delta.snap",
+                kind="demo",
+                meta={},
+                slabs={},
+                parent=base,
+                unchanged=["zzz"],
+            )
+        assert excinfo.value.reason == "missing-slab"
+
+    def test_unchanged_without_parent_is_missing_slab(self, tmp_path):
+        with pytest.raises(SnapshotError) as excinfo:
+            write_snapshot(
+                tmp_path / "delta.snap",
+                kind="demo",
+                meta={},
+                slabs={},
+                unchanged=["a"],
+            )
+        assert excinfo.value.reason == "missing-slab"
+
+    @pytest.mark.parametrize(
+        "corrupt, reason",
+        [
+            ("missing", "missing"),
+            ("magic", "bad-magic"),
+            ("payload-flipped", "checksum-mismatch"),
+            ("kind", "kind-mismatch"),
+            ("truncated", "truncated"),
+        ],
+    )
+    def test_parent_corruption_fires_per_link(self, tmp_path, corrupt, reason):
+        base = self._base(tmp_path)
+        delta = tmp_path / "delta.snap"
+        write_snapshot(
+            delta,
+            kind="demo",
+            meta={},
+            slabs={"b": self.B},
+            parent=base,
+            unchanged=["a"],
+        )
+        if corrupt == "missing":
+            base.unlink()
+        elif corrupt == "magic":
+            data = bytearray(base.read_bytes())
+            data[0] ^= 0xFF
+            base.write_bytes(bytes(data))
+        elif corrupt == "payload-flipped":
+            data = bytearray(base.read_bytes())
+            data[4096 + 100] ^= 0xFF  # inside slab "a", the referenced one
+            base.write_bytes(bytes(data))
+        elif corrupt == "kind":
+            write_snapshot(
+                base, kind="other", meta={}, slabs={"a": self.A, "b": self.B}
+            )
+        elif corrupt == "truncated":
+            base.write_bytes(base.read_bytes()[:4100])
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(delta, kind="demo")
+        assert excinfo.value.reason == reason
+
+    def test_writer_refuses_a_chain_past_the_bound(self, tmp_path):
+        parent = self._base(tmp_path)
+        for link in range(persist_format.MAX_CHAIN):
+            child = tmp_path / f"link-{link}.snap"
+            write_snapshot(
+                child,
+                kind="demo",
+                meta={},
+                slabs={"b": self.B},
+                parent=parent,
+                unchanged=["a"],
+            )
+            parent = child
+        assert _delta_header(parent)["depth"] == persist_format.MAX_CHAIN
+        with pytest.raises(SnapshotError) as excinfo:
+            write_snapshot(
+                tmp_path / "too-deep.snap",
+                kind="demo",
+                meta={},
+                slabs={},
+                parent=parent,
+                unchanged=["a"],
+            )
+        assert excinfo.value.reason == "chain-too-deep"
+
+    def _handcrafted(self, tmp_path, header_doc):
+        import json
+
+        path = tmp_path / "crafted.snap"
+        header = json.dumps(header_doc).encode()
+        path.write_bytes(
+            persist_format.MAGIC + struct.pack("<Q", len(header)) + header
+        )
+        return path
+
+    def test_loader_rejects_a_forged_deep_chain(self, tmp_path):
+        path = self._handcrafted(
+            tmp_path,
+            {
+                "format_version": persist_format.FORMAT_VERSION,
+                "kind": "demo",
+                "meta": {},
+                "slabs": [],
+                "parent": "base.snap",
+                "depth": persist_format.MAX_CHAIN + 1,
+            },
+        )
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path, kind="demo")
+        assert excinfo.value.reason == "chain-too-deep"
+
+    @pytest.mark.parametrize("parent", ["../evil.snap", "", "a/b.snap", ".."])
+    def test_loader_rejects_traversal_in_link_names(self, tmp_path, parent):
+        path = self._handcrafted(
+            tmp_path,
+            {
+                "format_version": persist_format.FORMAT_VERSION,
+                "kind": "demo",
+                "meta": {},
+                "slabs": [],
+                "parent": parent,
+                "depth": 1,
+            },
+        )
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path, kind="demo")
+        assert excinfo.value.reason == "bad-header"
+
+    def test_v1_files_still_read(self, tmp_path, monkeypatch):
+        path = tmp_path / "old.snap"
+        monkeypatch.setattr(persist_format, "FORMAT_VERSION", 1)
+        write_snapshot(path, kind="demo", meta={"v": 1}, slabs={"a": self.A})
+        monkeypatch.undo()
+        snap = load_snapshot(path, kind="demo")
+        assert snap.meta == {"v": 1}
+        assert snap.parent is None and snap.depth == 0
+        assert np.array_equal(snap.slab("a"), self.A)
+
+
+# ------------------------------------------------------------------ #
 # crash-safety
 # ------------------------------------------------------------------ #
 
@@ -377,7 +595,7 @@ class TestMaintainerRoundTrip:
 STREAMS = ["alpha", "beta", "gamma"]
 
 
-def _service(snapshot_dir, **kwargs) -> HistogramService:
+def _service(snapshot_dir, cache_capacity=256, **kwargs) -> HistogramService:
     return HistogramService(
         STREAMS,
         N,
@@ -388,8 +606,18 @@ def _service(snapshot_dir, **kwargs) -> HistogramService:
         tester_params=TEST_PARAMS,
         rng=5,
         snapshot_dir=snapshot_dir,
-        config=ServiceConfig(max_batch=8, max_linger_us=0.0),
+        config=ServiceConfig(
+            max_batch=8, max_linger_us=0.0, cache_capacity=cache_capacity
+        ),
         **kwargs,
+    )
+
+
+def _delta_files(snapshot_dir) -> list:
+    return sorted(
+        name
+        for name in os.listdir(snapshot_dir)
+        if name.startswith("service-delta-") and name.endswith(".snap")
     )
 
 
@@ -508,3 +736,142 @@ class TestServiceWarmStart:
     def test_checkpoint_every_must_be_positive(self, tmp_path):
         with pytest.raises(InvalidParameterError):
             _service(tmp_path, checkpoint_every=0)
+
+    def test_unchanged_windows_skip_the_checkpoint(self, tmp_path):
+        """The cadence fix: repeat-read windows re-write nothing.
+
+        With the response cache off so repeats actually reach the
+        collector, windows in which no stream's generation moved must
+        not re-write the snapshot; the drain-close checkpoint stays
+        unconditional.
+        """
+
+        async def scenario():
+            ingest, _ = _trace()
+            service = _service(tmp_path, checkpoint_every=1, cache_capacity=0)
+            probe = Request.test("alpha", 3, 0.3)
+            async with service:
+                for request in ingest:
+                    await service.submit(request)
+                # First probe may grow pools/compile: generation moves.
+                await service.submit(probe)
+                # Warm it fully: a second identical probe is pure.
+                await service.submit(probe)
+                watermark = service.stats["checkpoints"]
+                windows_before = service.stats["windows"]
+                for _ in range(4):
+                    assert (await service.submit(probe)).ok
+                assert service.stats["windows"] == windows_before + 4
+                assert service.stats["checkpoints"] == watermark
+            # Drain-close always writes one more, skip logic or not.
+            assert service.stats["checkpoints"] == watermark + 1
+            assert service.stats["checkpoint_failures"] == 0
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.shm_guard
+class TestServiceDeltaCheckpoints:
+    def test_delta_chain_restores_byte_identically(self, tmp_path):
+        async def scenario():
+            ingest, probes = _trace()
+            service = _service(
+                tmp_path, checkpoint_mode="delta", checkpoint_every=1
+            )
+            await _serve(service, ingest + probes[:2])
+            assert service.stats["checkpoints"] > 1
+            # The chain is real: a full base plus delta links on disk.
+            assert os.path.exists(tmp_path / "service.snap")
+            assert _delta_files(tmp_path)
+            # Reference: one uninterrupted service over the full trace.
+            reference = _service(None)
+            ref = await _serve(reference, ingest + probes[:2] + probes)
+            # Restart restores through the parent chain.
+            second = _service(tmp_path)
+            assert second.warm_started
+            warm = await _serve(second, probes)
+            assert warm == ref[len(ingest) + 2 :]
+
+        asyncio.run(scenario())
+
+    def test_deltas_write_fewer_bytes_than_fulls(self, tmp_path):
+        service = _service(tmp_path, checkpoint_mode="delta")
+        rng = np.random.default_rng(0)
+        for member in range(3):
+            service._maintainer.update_many(
+                member, rng.integers(0, N, size=700)
+            )
+        # Probes grow pools and compile sketches: real per-member bulk.
+        service._maintainer.test(3, 0.3, params=TEST_PARAMS)
+        service._maintainer.learn(3, 0.3)
+        first = service.checkpoint()
+        assert first == service.snapshot_path  # the chain base is full
+        full_bytes = service.stats["checkpoint_bytes"]
+        # Touch one member of three (~33% churn): the delta re-writes
+        # only that member's slabs.
+        service._maintainer.update_many(0, rng.integers(0, N, size=50))
+        second = service.checkpoint()
+        assert second != service.snapshot_path
+        assert os.path.basename(second) in _delta_files(tmp_path)
+        assert service.stats["checkpoint_bytes"] < full_bytes
+
+    def test_compaction_rebases_and_prunes_the_chain(self, tmp_path):
+        from repro.serving import service as service_module
+
+        service = _service(tmp_path, checkpoint_mode="delta")
+        rng = np.random.default_rng(1)
+        service._maintainer.update_many(0, rng.integers(0, N, size=700))
+        written = [service.checkpoint()]
+        for _ in range(2 * service_module._COMPACT_EVERY):
+            service._maintainer.update_many(
+                int(rng.integers(0, 3)), rng.integers(0, N, size=40)
+            )
+            written.append(service.checkpoint())
+        fulls = [p for p in written if p == service.snapshot_path]
+        deltas = [p for p in written if p != service.snapshot_path]
+        assert len(fulls) >= 2  # the chain compacted at least once
+        assert deltas
+        # Compaction pruned superseded links: what's on disk is at most
+        # one chain's worth.
+        assert len(_delta_files(tmp_path)) <= service_module._COMPACT_EVERY
+        # The live tree and a restore of the latest checkpoint agree.
+        restored = _service(tmp_path)
+        assert restored.warm_started
+        assert restored._maintainer.items_seen == service._maintainer.items_seen
+        assert _freeze_probe(service._maintainer) == _freeze_probe(
+            restored._maintainer
+        )
+
+    def test_restart_resumes_with_a_full_checkpoint(self, tmp_path):
+        service = _service(tmp_path, checkpoint_mode="delta")
+        rng = np.random.default_rng(2)
+        service._maintainer.update_many(0, rng.integers(0, N, size=700))
+        service.checkpoint()
+        service._maintainer.update_many(1, rng.integers(0, N, size=700))
+        assert service.checkpoint() != service.snapshot_path
+        # A restarted process cannot diff against counters it never saw:
+        # its first checkpoint is always a full compaction.
+        second = _service(tmp_path, checkpoint_mode="delta")
+        assert second.warm_started
+        assert second.checkpoint() == second.snapshot_path
+        assert _delta_files(tmp_path) == []  # pruned at compaction
+
+    def test_delta_mode_requires_snapshot_dir(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            _service(None, checkpoint_mode="delta")
+        with pytest.raises(InvalidParameterError):
+            _service(tmp_path, checkpoint_mode="bogus")
+
+    def test_broken_delta_write_falls_back_to_full(self, tmp_path):
+        """A delta the parent cannot back self-heals into a compaction."""
+        service = _service(tmp_path, checkpoint_mode="delta")
+        rng = np.random.default_rng(3)
+        service._maintainer.update_many(0, rng.integers(0, N, size=700))
+        service.checkpoint()
+        service._maintainer.update_many(0, rng.integers(0, N, size=40))
+        # Corrupt the chain parent: the delta writer cannot read it.
+        with open(service.snapshot_path, "r+b") as handle:
+            handle.write(b"XXXXXXXX")
+        path = service.checkpoint()
+        assert path == service.snapshot_path  # fell back to a full write
+        assert _service(tmp_path).warm_started

@@ -70,16 +70,26 @@ def mixed_workload(**overrides) -> WorkloadConfig:
 
 
 def build_service(
-    names, *, max_batch, linger_us, workers=1, faults=None, max_respawns=None
+    names,
+    *,
+    max_batch,
+    linger_us,
+    workers=1,
+    faults=None,
+    max_respawns=None,
+    cache_capacity=None,
 ):
+    config_kwargs = dict(
+        max_batch=max_batch, max_linger_us=linger_us, max_queue=2048
+    )
+    if cache_capacity is not None:
+        config_kwargs["cache_capacity"] = cache_capacity
     return HistogramService(
         names,
         N,
         K,
         EPSILON,
-        config=ServiceConfig(
-            max_batch=max_batch, max_linger_us=linger_us, max_queue=2048
-        ),
+        config=ServiceConfig(**config_kwargs),
         references={"baseline": REFERENCE},
         workers=workers,
         faults=faults,
@@ -98,6 +108,7 @@ def replay_canonical(
     clients=24,
     faults=None,
     max_respawns=None,
+    cache_capacity=None,
     health_sink=None,
 ):
     """Replay ``config``'s trace; return the canonical response trace."""
@@ -112,6 +123,7 @@ def replay_canonical(
             workers=workers,
             faults=faults,
             max_respawns=max_respawns,
+            cache_capacity=cache_capacity,
         )
         async with service:
             report = await replay(service, trace, clients=clients, collect=True)
@@ -172,6 +184,117 @@ class TestCoalescingConformance:
         assert stats["batches"] < len(trace)  # windows really folded
         assert stats["largest_batch"] > 1
         assert stats["coalesced"] > 0
+
+
+class TestResponseCache:
+    """The generation-keyed response cache: hits are byte-identical,
+    mutations fence and invalidate, capacity bounds entries."""
+
+    def test_cache_on_matches_cache_off_byte_identically(self):
+        # The acceptance criterion: for a requery-heavy workload, every
+        # response byte is independent of whether the cache served it.
+        config = mixed_workload(requery_bias=0.6, requests=100, seed=21)
+        reference = replay_canonical(
+            config, max_batch=1, linger_us=0.0, cache_capacity=0
+        )
+        for max_batch, linger_us in ((1, 0.0), (16, 400.0), (96, 1000.0)):
+            trace = replay_canonical(
+                config, max_batch=max_batch, linger_us=linger_us
+            )
+            assert trace == reference, (max_batch, linger_us)
+
+    def test_repeat_probe_hits_and_mutation_invalidates(self):
+        async def run():
+            service = build_service(["a", "b"], max_batch=8, linger_us=0.0)
+            async with service:
+                await service.submit(Request.ingest("a", list(range(32))))
+                first = await service.submit(Request.test("a"))
+                second = await service.submit(Request.test("a"))
+                hits_after_repeat = service.stats["cache_hits"]
+                await service.submit(Request.ingest("a", [1, 2, 3]))
+                third = await service.submit(Request.test("a"))
+            return first, second, third, hits_after_repeat, service.stats
+
+        first, second, third, hits_after_repeat, stats = asyncio.run(run())
+        assert first.ok and second.ok and third.ok
+        assert canonical(second) == canonical(first)
+        assert hits_after_repeat == 1
+        # The post-ingest probe re-executed: its generation key moved.
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] >= 2
+
+    def test_pending_mutation_fences_cached_reads(self):
+        async def run():
+            service = build_service(["a"], max_batch=8, linger_us=0.0)
+            async with service:
+                await service.submit(Request.ingest("a", list(range(32))))
+                await service.submit(Request.test("a"))
+                repeat = await service.submit(Request.test("a"))
+                assert repeat.ok and service.stats["cache_hits"] == 1
+                lookups_before = (
+                    service.stats["cache_hits"] + service.stats["cache_misses"]
+                )
+                loop = asyncio.get_running_loop()
+                ingest = loop.create_task(
+                    service.submit(Request.ingest("a", [5, 6, 7]))
+                )
+                await asyncio.sleep(0)  # ingest enqueued: fence armed
+                fenced = await service.submit(Request.test("a"))
+                await ingest
+                assert not service._pending_mutations  # fence released
+            return fenced, lookups_before, service.stats
+
+        fenced, lookups_before, stats = asyncio.run(run())
+        assert fenced.ok
+        # The fenced probe skipped the cache entirely: neither a hit nor
+        # a miss was counted, and it executed after the ingest.
+        assert stats["cache_hits"] + stats["cache_misses"] == lookups_before
+
+    def test_capacity_zero_disables_the_cache(self):
+        async def run():
+            service = build_service(
+                ["a"], max_batch=4, linger_us=0.0, cache_capacity=0
+            )
+            async with service:
+                await service.submit(Request.ingest("a", list(range(32))))
+                await service.submit(Request.test("a"))
+                await service.submit(Request.test("a"))
+            return service.stats
+
+        stats = asyncio.run(run())
+        assert stats["cache_hits"] == 0 and stats["cache_misses"] == 0
+
+    def test_lru_eviction_bounds_entries(self):
+        async def run():
+            service = build_service(
+                ["a"], max_batch=4, linger_us=0.0, cache_capacity=2
+            )
+            async with service:
+                await service.submit(Request.ingest("a", list(range(32))))
+                for start in (0, 8, 16):
+                    await service.submit(Request.selectivity("a", start, start + 4))
+                assert len(service._cache) == 2
+                # The oldest range was evicted: re-probing it misses.
+                hits = service.stats["cache_hits"]
+                await service.submit(Request.selectivity("a", 0, 4))
+                assert service.stats["cache_hits"] == hits
+            return service.stats
+
+        asyncio.run(run())
+
+    def test_health_reports_generations(self):
+        async def run():
+            service = build_service(["a", "b"], max_batch=4, linger_us=0.0)
+            async with service:
+                before = service.health()["generations"]
+                await service.submit(Request.ingest("a", list(range(16))))
+                after = service.health()["generations"]
+            return before, after
+
+        before, after = asyncio.run(run())
+        assert len(before) == len(after) == 2
+        assert after[0] > before[0]  # the ingested member moved
+        assert after[1] == before[1]  # the quiet member did not
 
 
 @pytest.mark.shm_guard
@@ -616,7 +739,16 @@ class TestRequestShapes:
         )
         assert Request.min_k("a", max_k=4).signature != Request.min_k("a").signature
         assert Request.ingest("a", [1]).mutates
-        assert not Request.learn("a").mutates
+        # learn can commit the stored histogram: the service treats it
+        # as a mutation (a cache fence), not a pure read.
+        assert Request.learn("a").mutates
+        assert not Request.test("a").mutates
+        assert not Request.selectivity("a", 0, 5).mutates
+        assert (
+            Request.selectivity("a", 0, 5).cache_key
+            != Request.selectivity("a", 0, 6).cache_key
+        )
+        assert Request.test("a").cache_key == Request.test("b").cache_key
         with pytest.raises(InvalidParameterError):
             _ = Request(op="transmogrify", stream="a").signature
 
@@ -634,6 +766,9 @@ class TestRequestShapes:
             ServiceConfig(max_queue=0)
         with pytest.raises(InvalidParameterError):
             ServiceConfig(retry_after_s=-0.1)
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(cache_capacity=-1)
+        assert ServiceConfig(cache_capacity=0).cache_capacity == 0
 
     def test_service_constructor_validation(self):
         with pytest.raises(InvalidParameterError):

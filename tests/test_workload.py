@@ -26,6 +26,7 @@ configs = st.builds(
     alpha=st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
     l1_fraction=st.floats(min_value=0.0, max_value=1.0),
     chain_after_test=st.floats(min_value=0.0, max_value=1.0),
+    requery_bias=st.floats(min_value=0.0, max_value=1.0),
     burst_every=st.integers(min_value=1, max_value=64),
     burst_len=st.integers(min_value=0, max_value=24),
     ingest_batch=st.integers(min_value=1, max_value=32),
@@ -184,6 +185,78 @@ class TestSkew:
         assert counts[hottest] > counts[coldest]
 
 
+class TestRequeryBias:
+    _MIX = (("ingest", 1.0), ("test", 2.0), ("selectivity", 2.0), ("min_k", 1.0))
+
+    def _config(self, bias: float) -> WorkloadConfig:
+        return WorkloadConfig(
+            streams=8,
+            requests=400,
+            seed=7,
+            mix=self._MIX,
+            chain_after_test=0.0,
+            burst_len=0,
+            warmup=False,
+            requery_bias=bias,
+        )
+
+    @staticmethod
+    def _repeat_fraction(trace) -> float:
+        # Selectivity probes only: fresh ranges are (nearly) unique, so
+        # a repeated (stream, cache_key) is a replay, not a collision.
+        probes = [
+            (r.stream, r.cache_key)
+            for _, r in trace
+            if r.op == "selectivity"
+        ]
+        seen: set = set()
+        repeats = 0
+        for key in probes:
+            if key in seen:
+                repeats += 1
+            seen.add(key)
+        return repeats / max(len(probes), 1)
+
+    def test_bias_raises_repeat_probe_fraction(self):
+        cold = WorkloadGenerator(self._config(0.0)).trace()
+        hot = WorkloadGenerator(self._config(0.9)).trace()
+        assert self._repeat_fraction(hot) > self._repeat_fraction(cold) + 0.3
+
+    def test_replays_are_verbatim_copies(self):
+        # Under full bias every probe after the first replays a recent
+        # one: each probe is byte-equal to some earlier probe.
+        trace = WorkloadGenerator(self._config(1.0)).trace()
+        probes = [r for _, r in trace if r.op != "ingest"]
+        seen: set = set()
+        fresh = 0
+        for request in probes:
+            if request not in seen:
+                fresh += 1
+            seen.add(request)
+        # The first probe is always fresh; replays dominate thereafter.
+        assert fresh < len(probes) / 2
+
+    @given(bias=st.floats(min_value=0.0, max_value=1.0), seed=st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_biased_traces_stay_deterministic(self, bias, seed):
+        config = WorkloadConfig(
+            streams=6, requests=48, seed=seed, requery_bias=bias
+        )
+        assert trace_bytes(WorkloadGenerator(config).trace()) == trace_bytes(
+            WorkloadGenerator(config).trace()
+        )
+
+    def test_zero_bias_matches_the_default_config(self):
+        # requery_bias=0.0 is the default and draws nothing from the
+        # rng: a config that never mentions the knob and one pinning it
+        # to zero emit byte-identical traces.
+        base = WorkloadConfig(streams=8, requests=96, seed=3)
+        pinned = WorkloadConfig(streams=8, requests=96, seed=3, requery_bias=0.0)
+        assert trace_bytes(WorkloadGenerator(base).trace()) == trace_bytes(
+            WorkloadGenerator(pinned).trace()
+        )
+
+
 class TestMixEdges:
     def test_ingest_only_mix_storms_fall_back_to_the_full_mix(self):
         config = WorkloadConfig(
@@ -212,3 +285,7 @@ class TestConfigValidation:
             WorkloadConfig(mix=(("transmogrify", 1.0),))
         with pytest.raises(InvalidParameterError):
             WorkloadConfig(mix=(("test", 0.0),))
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(requery_bias=-0.1)
+        with pytest.raises(InvalidParameterError):
+            WorkloadConfig(requery_bias=1.5)
